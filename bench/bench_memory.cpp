@@ -1,0 +1,103 @@
+// Micro-benchmarks for the append-memory substrate: append throughput,
+// snapshot reads, historical views and timestamp ordering.
+#include <benchmark/benchmark.h>
+
+#include "am/memory.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace amm;
+
+void BM_Append(benchmark::State& state) {
+  const auto n = static_cast<u32>(state.range(0));
+  am::AppendMemory memory(n);
+  Rng rng(1);
+  SimTime now = 0.0;
+  for (auto _ : state) {
+    now += 1.0;
+    const auto author = NodeId{static_cast<u32>(rng.uniform_below(n))};
+    benchmark::DoNotOptimize(memory.append(author, Vote::kPlus, 0, {}, now));
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_Append)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_AppendWithRefs(benchmark::State& state) {
+  am::AppendMemory memory(16);
+  Rng rng(2);
+  SimTime now = 1.0;
+  am::MsgId prev = memory.append(NodeId{0}, Vote::kPlus, 0, {}, now);
+  for (auto _ : state) {
+    now += 1.0;
+    prev = memory.append(NodeId{static_cast<u32>(rng.uniform_below(16))}, Vote::kPlus, 0, {prev},
+                         now);
+    benchmark::DoNotOptimize(prev);
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()));
+}
+BENCHMARK(BM_AppendWithRefs);
+
+void BM_SnapshotRead(benchmark::State& state) {
+  const auto size = static_cast<u32>(state.range(0));
+  am::AppendMemory memory(32);
+  Rng rng(3);
+  for (u32 i = 0; i < size; ++i) {
+    memory.append(NodeId{static_cast<u32>(rng.uniform_below(32))}, Vote::kPlus, 0, {},
+                  static_cast<SimTime>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(memory.read());
+  }
+}
+BENCHMARK(BM_SnapshotRead)->Arg(1000)->Arg(100000);
+
+void BM_HistoricalView(benchmark::State& state) {
+  am::AppendMemory memory(32);
+  Rng rng(4);
+  for (u32 i = 0; i < 100'000; ++i) {
+    memory.append(NodeId{static_cast<u32>(rng.uniform_below(32))}, Vote::kPlus, 0, {},
+                  static_cast<SimTime>(i));
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 997.0;
+    if (t > 100'000.0) t -= 100'000.0;
+    benchmark::DoNotOptimize(memory.read_at(t));
+  }
+}
+BENCHMARK(BM_HistoricalView);
+
+void BM_ByAppendTime(benchmark::State& state) {
+  const auto size = static_cast<u32>(state.range(0));
+  am::AppendMemory memory(16);
+  Rng rng(5);
+  for (u32 i = 0; i < size; ++i) {
+    memory.append(NodeId{static_cast<u32>(rng.uniform_below(16))}, Vote::kPlus, 0, {},
+                  static_cast<SimTime>(i));
+  }
+  const am::MemoryView view = memory.read();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.by_append_time());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * size);
+}
+BENCHMARK(BM_ByAppendTime)->Arg(1000)->Arg(10000);
+
+void BM_ViewJoin(benchmark::State& state) {
+  am::AppendMemory memory(256);
+  Rng rng(6);
+  for (u32 i = 0; i < 10'000; ++i) {
+    memory.append(NodeId{static_cast<u32>(rng.uniform_below(256))}, Vote::kPlus, 0, {},
+                  static_cast<SimTime>(i));
+  }
+  const am::MemoryView a = memory.read_at(3000.0);
+  const am::MemoryView b = memory.read_at(7000.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.join(b));
+    benchmark::DoNotOptimize(a.meet(b));
+  }
+}
+BENCHMARK(BM_ViewJoin);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// E15 — Nakamoto confirmation on the append memory (the §1.2/§5.2
+// literature context: consistency without consensus).
+//
+// Double-spend race: reversal probability vs confirmation depth for
+// several attacker power shares, next to Nakamoto's closed-form
+// overtaking bound (q/p)^z. The measured decay must be exponential in the
+// depth with the predicted base, and the attacker must win always at
+// q >= 1/2 — the "honest majority" condition the paper's §5 results rest
+// on, observed from below.
+#include <iostream>
+
+#include "exp/harness.hpp"
+#include "exp/montecarlo.hpp"
+#include "protocols/nakamoto.hpp"
+
+using namespace amm;
+
+int main(int argc, char** argv) {
+  exp::Harness h(argc, argv, "E15 — Nakamoto double-spend race (§1.2/§5.2 context)", 2000);
+
+  const u32 n = 20;
+
+  Table table({"q = t/n", "depth", "measured reversal [95% CI]", "naive (q/p)^(z+1)", "race closed form"});
+  for (const u32 t : {2u, 5u, 8u, 10u}) {
+    const double q = static_cast<double>(t) / n;
+    for (const u32 depth : {1u, 2u, 4u, 6u, 8u}) {
+      proto::NakamotoParams params;
+      params.scenario.n = n;
+      params.scenario.t = t;
+      params.confirmation_depth = depth;
+      const auto est = exp::estimate_rate(
+          h.pool, h.seed ^ (t * 100 + depth), h.trials, [&](usize, Rng& rng) {
+            const proto::NakamotoResult res = proto::run_double_spend_race(params, rng);
+            return res.terminated && res.reversed;
+          });
+      const auto [lo, hi] = est.wilson95();
+      table.add_row({fmt(q, 2), std::to_string(depth), fmt_ci(est.rate(), lo, hi),
+                     fmt(proto::nakamoto_overtake_bound(q, depth + 1), 4),
+                     fmt(proto::nakamoto_reversal_probability(q, depth), 4)});
+    }
+  }
+  h.emit(table,
+         "Reversal probability decays exponentially in the confirmation depth with\n"
+         "base q/p and must match the race's closed form (finite give-up deficit\n"
+         "keeps q = 1/2 at ~0.92 instead of the asymptotic 1.0 — the honest-\n"
+         "majority condition beneath every Section 5 result):");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E16 — the closing remark of §5.3: "temporarily asynchronous nodes would
+// reduce the resilience of Byzantine agreement on the DAG."
+//
+// Nakamoto consistency on the DAG survives temporary asynchrony [22], but
+// Byzantine *agreement* has a fixed decision cut — if correct nodes stall
+// (unbounded token→append gaps) during the final stretch, the withholding
+// adversary's quiet interval grows with the stall and its private chain
+// claims the remaining cut positions. The table sweeps the asynchrony
+// duration: the dump grows from Lemma 5.5's O(log) values to the whole
+// banking window, and validity at a share the synchronous DAG tolerates
+// comfortably (t/n = 0.4) collapses.
+#include <iostream>
+
+#include "exp/harness.hpp"
+#include "exp/montecarlo.hpp"
+#include "protocols/dag_ba.hpp"
+
+using namespace amm;
+
+int main(int argc, char** argv) {
+  exp::Harness h(argc, argv, "E16 — temporary asynchrony vs DAG agreement (§5.3 remark)", 200);
+
+  const u32 n = 20;
+  const u32 t = 8;  // t/n = 0.4: safely inside the synchronous DAG's bound
+  const u32 k = 101;
+
+  Table table({"async delay x delta", "validity [95% CI]", "mean dump", "mean final gap/delta"});
+  for (const double delay : {0.0, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    proto::DagParams params;
+    params.scenario.n = n;
+    params.scenario.t = t;
+    params.k = k;
+    params.lambda = 1.0;
+    params.adversary = proto::DagAdversary::kRateAndWithhold;
+    params.async_delay = delay;
+    params.async_window = 51;  // the final half of the cut is asynchronous
+
+    std::mutex m;
+    double dump_sum = 0.0, gap_sum = 0.0;
+    usize runs = 0;
+    const auto est = exp::estimate_rate(
+        h.pool, h.seed ^ static_cast<u64>(delay * 10), h.trials, [&](usize, Rng& rng) {
+          const proto::DagResult res = proto::run_dag_continuous(params, rng);
+          {
+            std::scoped_lock lock(m);
+            dump_sum += static_cast<double>(res.dumped);
+            gap_sum += res.final_gap;
+            ++runs;
+          }
+          return res.outcome.terminated && res.outcome.validity(params.scenario);
+        });
+    const auto [lo, hi] = est.wilson95();
+    table.add_row({fmt(delay, 1), fmt_ci(est.rate(), lo, hi),
+                   fmt(dump_sum / static_cast<double>(runs), 2),
+                   fmt(gap_sum / static_cast<double>(runs), 2)});
+  }
+  h.emit(table,
+         "n=20, t=8 (t/n = 0.4), lambda=1, k=101. Synchronous (delay 0): the dump\n"
+         "is a handful of values and validity holds. As correct nodes stall near\n"
+         "the cut, the adversary's quiet interval and private chain grow with the\n"
+         "stall — resilience degrades exactly as the paper's closing remark says:");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: the append memory in five minutes.
+//
+//   1. Create an AppendMemory and append messages with references.
+//   2. Take snapshot views and interpret them as a block graph.
+//   3. Run the synchronous Byzantine agreement protocol (Algorithm 1).
+//   4. Run randomized-access Byzantine agreement on a DAG (Algorithm 6).
+//
+// Build & run:  ./examples/quickstart
+#include <iostream>
+
+#include "adversary/sync_strategies.hpp"
+#include "chain/rules.hpp"
+#include "protocols/dag_ba.hpp"
+#include "protocols/sync_ba.hpp"
+
+using namespace amm;
+
+int main() {
+  std::cout << "== 1. The append memory ==\n";
+  // Five nodes, one append-only register each. Appends carry a ±1 value
+  // and references to earlier appends ("a previous state of the memory").
+  am::AppendMemory memory(5);
+  const am::MsgId genesis = memory.append(NodeId{0}, Vote::kPlus, 0, {}, /*now=*/0.1);
+  const am::MsgId a = memory.append(NodeId{1}, Vote::kPlus, 0, {genesis}, 0.2);
+  const am::MsgId b = memory.append(NodeId{2}, Vote::kMinus, 0, {genesis}, 0.3);  // fork!
+  const am::MsgId c = memory.append(NodeId{3}, Vote::kPlus, 0, {a, b}, 0.4);      // DAG merge
+  (void)c;
+
+  // M.read() returns the complete memory; read_at() an observer's stale view.
+  std::cout << "memory holds " << memory.read().size() << " messages; "
+            << "an observer at t=0.25 saw only " << memory.read_at(0.25).size() << "\n";
+
+  std::cout << "\n== 2. Views as block graphs ==\n";
+  const chain::BlockGraph graph(memory.read());
+  std::cout << "max depth " << graph.max_depth() << ", tips " << graph.tips().size()
+            << ", GHOST pivot length "
+            << chain::select_pivot(graph, chain::PivotRule::kGhost).size() << "\n";
+  const auto order = chain::linearize_dag(graph, chain::PivotRule::kGhost);
+  std::cout << "DAG linearization covers all " << order.size() << " messages (inclusive!)\n";
+
+  std::cout << "\n== 3. Synchronous Byzantine agreement (Algorithm 1) ==\n";
+  proto::SyncParams sync;
+  sync.scenario.n = 7;
+  sync.scenario.t = 3;  // t < n/2: the protocol's guarantee applies
+  sync.scenario.correct_input = Vote::kPlus;
+  adv::SplitVisionSync adversary(Vote::kMinus, Rng(42));
+  const proto::Outcome out = proto::run_sync_ba(sync, adversary);
+  std::cout << "n=7, t=3, rounds=" << out.rounds << " (= t+1), agreement="
+            << (out.agreement() ? "yes" : "NO")
+            << ", validity=" << (out.validity(sync.scenario) ? "yes" : "NO") << "\n";
+
+  std::cout << "\n== 4. Byzantine agreement on a DAG (Algorithm 6) ==\n";
+  proto::DagParams dag;
+  dag.scenario.n = 10;
+  dag.scenario.t = 4;  // 40% Byzantine — fatal for a chain at this rate
+  dag.k = 101;
+  dag.lambda = 1.0;
+  dag.adversary = proto::DagAdversary::kRateAndWithhold;
+  const proto::DagResult res = proto::run_dag_continuous(dag, Rng(7));
+  std::cout << "n=10, t=4, lambda=1.0: decided after " << res.outcome.total_appends
+            << " appends; byz values in the k=101 cut: " << res.outcome.byz_in_decision_set
+            << " (withheld dump: " << res.dumped << ")"
+            << ", validity=" << (res.outcome.validity(dag.scenario) ? "yes" : "NO") << "\n";
+
+  std::cout << "\nNext: examples/chain_vs_dag for the paper's headline comparison.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "adversary/sync_strategies.hpp"
+
+namespace amm::adv {
+namespace {
+
+/// All-true visibility vector (append readable by everyone this round).
+std::vector<bool> full_visibility(u32 n) { return std::vector<bool>(n, true); }
+
+/// Honest reference set: everything the node read in the previous round.
+std::vector<u32> honest_refs(NodeId byz, const SyncContext& ctx) {
+  return ctx.prev_round_views->at(byz.index);
+}
+
+}  // namespace
+
+std::optional<SyncAppend> OppositeVoterSync::on_round(u32, NodeId byz, const SyncContext& ctx) {
+  SyncAppend app;
+  app.value = value_;
+  app.refs = honest_refs(byz, ctx);
+  app.visible_to = full_visibility(ctx.scenario->n);
+  return app;
+}
+
+std::optional<SyncAppend> CrashSync::on_round(u32 round, NodeId byz, const SyncContext& ctx) {
+  if (round >= crash_round_) return std::nullopt;
+  SyncAppend app;
+  app.value = value_;
+  app.refs = honest_refs(byz, ctx);
+  app.visible_to = full_visibility(ctx.scenario->n);
+  return app;
+}
+
+std::optional<SyncAppend> SplitVisionSync::on_round(u32, NodeId byz, const SyncContext& ctx) {
+  const u32 n = ctx.scenario->n;
+  SyncAppend app;
+  app.value = value_;
+  app.refs = honest_refs(byz, ctx);
+  app.visible_to.assign(n, false);
+  // Byzantine confederates coordinate: they always see each other.
+  for (u32 v = ctx.scenario->correct_count(); v < n; ++v) app.visible_to[v] = true;
+  for (u32 v = 0; v < ctx.scenario->correct_count(); ++v) {
+    app.visible_to[v] = rng_.bernoulli(0.5);
+  }
+  return app;
+}
+
+std::optional<SyncAppend> LastRoundSplitSync::on_round(u32 round, NodeId byz,
+                                                       const SyncContext& ctx) {
+  const proto::Scenario& s = *ctx.scenario;
+  const u32 rank = byz.index - s.correct_count();
+  const u32 rounds = ctx.total_rounds;
+
+  // Cross-round staircase: b_{i} appends in round i (i = 1..rounds),
+  // referencing b_{i-1}'s append, delayed past every correct node — they
+  // read each step one round late, too late to relay it into a competing
+  // chain within the run. Only the FINAL step is timed inside the final
+  // round's read window of the nodes in S: those read the complete chain
+  // before deciding, everyone else never sees the last link.
+  if (rank + 1 != round || round > rounds) return std::nullopt;
+
+  SyncAppend app;
+  app.value = value_;
+  if (rank > 0) {
+    // b_{rank-1}'s message was the last Byzantine append of the previous
+    // round; find it (the most recent Byzantine-authored message).
+    const auto& msgs = *ctx.msgs;
+    for (u32 i = static_cast<u32>(msgs.size()); i-- > 0;) {
+      if (s.is_byzantine(msgs[i].author)) {
+        app.refs.push_back(i);
+        break;
+      }
+    }
+  }
+  app.visible_to.assign(s.n, false);
+  for (u32 v = s.correct_count(); v < s.n; ++v) app.visible_to[v] = true;
+  if (round == rounds) {
+    // Final step: timely only for S.
+    for (u32 v = 0; v < std::min(split_, s.correct_count()); ++v) app.visible_to[v] = true;
+  }
+  return app;
+}
+
+}  // namespace amm::adv

@@ -1,0 +1,98 @@
+// Concrete Byzantine strategies for Algorithm 1's synchronous runner.
+//
+// The adversary's entire power in the append memory is (a) choosing the
+// value and reference set of its one append per round and (b) timing the
+// append between the staggered reads so only a chosen subset sees it in
+// the current round (§3). These strategies cover the attacks the paper's
+// proofs reason about.
+#pragma once
+
+#include <vector>
+
+#include "protocols/sync_ba.hpp"
+#include "support/rng.hpp"
+
+namespace amm::adv {
+
+using proto::SyncAdversary;
+using proto::SyncAppend;
+using proto::SyncContext;
+
+/// Byzantine nodes never append — indistinguishable from initially-crashed
+/// nodes. Baseline: Algorithm 1 must decide on the correct inputs alone.
+class SilentSync final : public SyncAdversary {
+ public:
+  std::optional<SyncAppend> on_round(u32, NodeId, const SyncContext&) override {
+    return std::nullopt;
+  }
+};
+
+/// Follows the protocol faithfully (own L_{r-1} references, full
+/// visibility) but votes `value`. The strongest *protocol-compliant*
+/// behaviour: its value is always accepted, so validity holds iff the
+/// correct nodes outnumber the Byzantine ones.
+class OppositeVoterSync final : public SyncAdversary {
+ public:
+  explicit OppositeVoterSync(Vote value) : value_(value) {}
+
+  std::optional<SyncAppend> on_round(u32, NodeId byz, const SyncContext& ctx) override;
+
+ private:
+  Vote value_;
+};
+
+/// Crash-failure adversary: behaves correctly (appends its `value` with
+/// honest references and full visibility) until its crash round, then stops
+/// forever. Models §3's observation that crash failures cost only one
+/// round in the append memory.
+class CrashSync final : public SyncAdversary {
+ public:
+  /// `crash_round`: first round in which the node no longer appends
+  /// (1 = crashed from the start).
+  CrashSync(Vote value, u32 crash_round) : value_(value), crash_round_(crash_round) {}
+
+  std::optional<SyncAppend> on_round(u32 round, NodeId byz, const SyncContext& ctx) override;
+
+ private:
+  Vote value_;
+  u32 crash_round_;
+};
+
+/// Equivocation with randomized split visibility: every round, appends
+/// `value` referencing everything, visible only to a random half of the
+/// correct nodes. Stress-tests agreement under visibility games.
+class SplitVisionSync final : public SyncAdversary {
+ public:
+  SplitVisionSync(Vote value, Rng rng) : value_(value), rng_(rng) {}
+
+  std::optional<SyncAppend> on_round(u32 round, NodeId byz, const SyncContext& ctx) override;
+
+ private:
+  Vote value_;
+  Rng rng_;
+};
+
+/// The t+1 lower-bound attack (Lemma 3.1): a cross-round Byzantine
+/// staircase b_1:(value, ∅)@round1 ← b_2@round2 ← … ← b_R@roundR, every
+/// step delayed past all correct nodes (they read each link one round
+/// late, too late to relay a competing completion inside the run), except
+/// the final step, which is timed inside the final read window of the
+/// correct nodes in S only. With R ≤ t rounds the chain has R distinct
+/// Byzantine authors: S accepts the value, everyone else never reads the
+/// last link — agreement breaks whenever the extra value flips a near-tied
+/// majority. With R = t+1 the staircase runs out of Byzantine authors and
+/// any correct relay is visible to everyone: the attack provably fails,
+/// which is exactly Theorem 3.2's guarantee.
+class LastRoundSplitSync final : public SyncAdversary {
+ public:
+  /// `split`: number of leading correct nodes that form S.
+  LastRoundSplitSync(Vote value, u32 split) : value_(value), split_(split) {}
+
+  std::optional<SyncAppend> on_round(u32 round, NodeId byz, const SyncContext& ctx) override;
+
+ private:
+  Vote value_;
+  u32 split_;
+};
+
+}  // namespace amm::adv

@@ -1,0 +1,103 @@
+// The append memory M (§1.1): n unbounded append-only registers, one per
+// node, with whole-memory reads. This is the paper's primary abstraction;
+// every protocol in the library runs against this class.
+//
+// Concurrency note: one AppendMemory belongs to one simulation trial and is
+// driven by a single (simulated-time) thread; cross-trial parallelism gives
+// each trial its own instance (Core Guidelines CP.3 — no shared mutable
+// state between tasks).
+#pragma once
+
+#include <vector>
+
+#include "am/register.hpp"
+#include "am/view.hpp"
+#include "support/assert.hpp"
+
+namespace amm::am {
+
+class AppendMemory {
+ public:
+  explicit AppendMemory(u32 node_count) {
+    AMM_EXPECTS(node_count > 0);
+    registers_.reserve(node_count);
+    for (u32 i = 0; i < node_count; ++i) registers_.emplace_back(i);
+  }
+
+  u32 node_count() const { return static_cast<u32>(registers_.size()); }
+
+  /// M.append(msg): appends to `author`'s register at simulated time `now`.
+  ///
+  /// Per the model, refs point at a *previous state* of the memory: each
+  /// referenced message must already exist. A node may reference an
+  /// obsolete state (asynchrony), but never a message that has not been
+  /// appended — dangling references are a protocol bug, not a memory
+  /// behaviour, so they are rejected here.
+  MsgId append(NodeId author, Vote value, u64 payload, std::vector<MsgId> refs, SimTime now) {
+    AMM_EXPECTS(author.index < registers_.size());
+    AMM_EXPECTS(now >= last_append_time_);
+    for (const MsgId ref : refs) {
+      AMM_EXPECTS(exists(ref));
+    }
+    last_append_time_ = now;
+    return registers_[author.index].append(value, payload, std::move(refs), now,
+                                           total_appends_++);
+  }
+
+  /// M.read(): the complete current view (all registers, full length).
+  MemoryView read() const {
+    std::vector<u32> lens;
+    lens.reserve(registers_.size());
+    for (const auto& r : registers_) lens.push_back(r.size());
+    return MemoryView(this, std::move(lens));
+  }
+
+  /// The view an observer had at time `time`: everything appended strictly
+  /// before `time`. Used to model read/append staleness without copying.
+  MemoryView read_at(SimTime time) const {
+    std::vector<u32> lens;
+    lens.reserve(registers_.size());
+    for (const auto& r : registers_) lens.push_back(r.size_at(time));
+    return MemoryView(this, std::move(lens));
+  }
+
+  bool exists(MsgId id) const {
+    return id.author < registers_.size() && id.seq < registers_[id.author].size();
+  }
+
+  const Message& msg(MsgId id) const {
+    AMM_EXPECTS(exists(id));
+    return registers_[id.author].at(id.seq);
+  }
+
+  const Register& reg(u32 i) const {
+    AMM_EXPECTS(i < registers_.size());
+    return registers_[i];
+  }
+
+  u64 total_appends() const { return total_appends_; }
+  SimTime last_append_time() const { return last_append_time_; }
+
+ private:
+  std::vector<Register> registers_;
+  u64 total_appends_ = 0;
+  SimTime last_append_time_ = 0.0;
+};
+
+// ---- MemoryView inline members that need the full AppendMemory type ----
+
+inline const Message& MemoryView::msg(MsgId id) const {
+  AMM_EXPECTS(contains(id));
+  return memory().msg(id);
+}
+
+template <typename Fn>
+void MemoryView::for_each(Fn&& fn) const {
+  for (u32 r = 0; r < register_count(); ++r) {
+    for (u32 s = 0; s < lens_[r]; ++s) {
+      fn(memory().msg(MsgId{r, s}));
+    }
+  }
+}
+
+}  // namespace amm::am

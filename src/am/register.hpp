@@ -1,0 +1,62 @@
+// A single append-only register R_i (§1.1): unbounded, readable by every
+// node, writable only by its owner. Supports read() of the complete state
+// and append(msg); nothing is ever overwritten or removed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "am/message.hpp"
+#include "support/assert.hpp"
+
+namespace amm::am {
+
+class Register {
+ public:
+  explicit Register(u32 owner) : owner_(owner) {}
+
+  u32 owner() const { return owner_; }
+  u32 size() const { return static_cast<u32>(log_.size()); }
+
+  /// Appends and returns the id assigned to the new message. The append
+  /// time must be non-decreasing: the memory is the single authority for
+  /// ordering within one register. `global_seq` is the memory-wide arrival
+  /// index (tooling-only; see Message::global_seq).
+  MsgId append(Vote value, u64 payload, std::vector<MsgId> refs, SimTime now,
+               u64 global_seq = 0) {
+    AMM_EXPECTS(log_.empty() || now >= log_.back().appended_at);
+    const MsgId id{owner_, size()};
+    log_.push_back(Message{id, value, payload, std::move(refs), now, global_seq});
+    return id;
+  }
+
+  /// Complete view of the register (the R_i.read() operation).
+  std::span<const Message> read() const { return log_; }
+
+  const Message& at(u32 seq) const {
+    AMM_EXPECTS(seq < log_.size());
+    return log_[seq];
+  }
+
+  /// Number of messages appended strictly before `time`.
+  u32 size_at(SimTime time) const {
+    // Registers are short-lived per trial and appends are time-ordered, so
+    // binary search over append times suffices.
+    u32 lo = 0, hi = size();
+    while (lo < hi) {
+      const u32 mid = lo + (hi - lo) / 2;
+      if (log_[mid].appended_at < time) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  u32 owner_;
+  std::vector<Message> log_;
+};
+
+}  // namespace amm::am

@@ -1,0 +1,67 @@
+// Sticky bits (Plotkin [20]; Malkhi et al. [16]) — the §1.2 contrast class.
+//
+// A sticky bit is a register that can be set exactly once: concurrent
+// writers race, one wins, and the winner is visible to everyone forever.
+// Unlike the append memory — which "cannot break ties" between concurrent
+// appends — a sticky bit resolves exactly one tie per object, which is why
+// consensus is solvable with sticky bits (for any number of processes, one
+// sticky object per decision) while the E1 checker shows it is not with
+// append registers. The paper's §1.3 makes precisely this comparison:
+// "the append memory is not as strong as the concept of sticky bits since
+// it does not make use of registers that implicitly solve consensus for
+// two parallel writes."
+#pragma once
+
+#include <optional>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace amm::am {
+
+/// A write-once bit. set() is an atomic compare-and-set against "unset";
+/// within a simulation trial, memory operations are already serialized by
+/// the (simulated-time) event order, so plain state suffices.
+class StickyBit {
+ public:
+  bool is_set() const { return value_.has_value(); }
+
+  /// Returns the sticky value, which must exist.
+  u8 get() const {
+    AMM_EXPECTS(value_.has_value());
+    return *value_;
+  }
+
+  std::optional<u8> read() const { return value_; }
+
+  /// Attempts to stick `v`; returns the value that is now stuck (the
+  /// winner's — not necessarily `v`).
+  u8 set(u8 v) {
+    AMM_EXPECTS(v <= 1);
+    if (!value_) value_ = v;
+    return *value_;
+  }
+
+ private:
+  std::optional<u8> value_;
+};
+
+/// Wait-free consensus for any number of crash-prone processes using one
+/// sticky bit: propose by setting, decide whatever stuck. The existence of
+/// this five-line protocol — against the impossibility the E1 checker
+/// demonstrates for append registers — is the hierarchy gap the paper
+/// points at.
+class StickyConsensus {
+ public:
+  /// Propose `input` (0/1); returns the decision. Idempotent, wait-free,
+  /// correct for any interleaving and any number of crashed peers.
+  u8 propose(u8 input) { return bit_.set(input); }
+
+  bool decided() const { return bit_.is_set(); }
+  u8 decision() const { return bit_.get(); }
+
+ private:
+  StickyBit bit_;
+};
+
+}  // namespace amm::am

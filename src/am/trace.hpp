@@ -1,0 +1,55 @@
+// Append-trace recording and replay.
+//
+// A trace is the full history of one append-memory execution — every
+// append with author, value, payload, references and authoritative time.
+// Since the memory is append-only, the trace IS the memory: replaying it
+// reconstructs byte-identical state. Used for golden tests, debugging
+// adversary strategies, and shipping reproducible counterexamples.
+//
+// Text format, one line per append:
+//   append <author> <value:+1|-1> <payload> <time> <ref_author>:<ref_seq>...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "am/memory.hpp"
+
+namespace amm::am {
+
+/// One recorded append.
+struct TraceEntry {
+  u32 author = 0;
+  Vote value = Vote::kPlus;
+  u64 payload = 0;
+  SimTime time = 0.0;
+  std::vector<MsgId> refs;
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+struct Trace {
+  u32 node_count = 0;
+  std::vector<TraceEntry> entries;
+
+  bool operator==(const Trace&) const = default;
+};
+
+/// Extracts the trace of everything currently in `memory`.
+Trace capture(const AppendMemory& memory);
+
+/// Replays a trace into a fresh memory. Aborts (precondition) on traces
+/// violating the model rules — dangling refs, non-monotone time.
+AppendMemory replay(const Trace& trace);
+
+/// Serialization. The writer emits the documented text format; the reader
+/// returns false on malformed input instead of aborting (traces may come
+/// from outside the process).
+void write_trace(std::ostream& os, const Trace& trace);
+bool read_trace(std::istream& is, Trace* out);
+
+std::string to_string(const Trace& trace);
+bool from_string(const std::string& text, Trace* out);
+
+}  // namespace amm::am

@@ -1,0 +1,39 @@
+#include "am/view.hpp"
+
+#include <algorithm>
+
+#include "am/memory.hpp"
+
+namespace amm::am {
+
+std::vector<MsgId> MemoryView::by_append_time() const {
+  std::vector<MsgId> ids;
+  ids.reserve(size());
+  for (u32 r = 0; r < register_count(); ++r) {
+    for (u32 s = 0; s < lens_[r]; ++s) ids.push_back(MsgId{r, s});
+  }
+  const AppendMemory& mem = memory();
+  std::stable_sort(ids.begin(), ids.end(), [&mem](MsgId a, MsgId b) {
+    const SimTime ta = mem.msg(a).appended_at;
+    const SimTime tb = mem.msg(b).appended_at;
+    if (ta != tb) return ta < tb;
+    return a < b;  // deterministic tie order on identical timestamps
+  });
+  return ids;
+}
+
+MemoryView MemoryView::join(const MemoryView& other) const {
+  AMM_EXPECTS(memory_ == other.memory_);
+  std::vector<u32> lens(lens_.size());
+  for (usize i = 0; i < lens_.size(); ++i) lens[i] = std::max(lens_[i], other.lens_[i]);
+  return MemoryView(memory_, std::move(lens));
+}
+
+MemoryView MemoryView::meet(const MemoryView& other) const {
+  AMM_EXPECTS(memory_ == other.memory_);
+  std::vector<u32> lens(lens_.size());
+  for (usize i = 0; i < lens_.size(); ++i) lens[i] = std::min(lens_[i], other.lens_[i]);
+  return MemoryView(memory_, std::move(lens));
+}
+
+}  // namespace amm::am

@@ -1,0 +1,41 @@
+#include "chain/backbone.hpp"
+
+#include <algorithm>
+
+namespace amm::chain {
+
+double chain_quality(const BlockGraph& graph, MsgId tip, usize suffix,
+                     const std::function<bool(NodeId)>& is_adversarial) {
+  AMM_EXPECTS(suffix > 0);
+  std::vector<MsgId> chain = graph.chain_to(tip);
+  if (chain.empty()) return 0.0;
+  const usize take = std::min(suffix, chain.size());
+  usize adversarial = 0;
+  for (usize i = chain.size() - take; i < chain.size(); ++i) {
+    if (is_adversarial(NodeId{chain[i].author})) ++adversarial;
+  }
+  return static_cast<double>(adversarial) / static_cast<double>(take);
+}
+
+double chain_growth(const BlockGraph& earlier, const BlockGraph& later, double intervals) {
+  AMM_EXPECTS(intervals > 0.0);
+  AMM_EXPECTS(later.max_depth() >= earlier.max_depth());
+  return static_cast<double>(later.max_depth() - earlier.max_depth()) / intervals;
+}
+
+std::vector<MsgId> canonical_chain(const BlockGraph& graph) {
+  if (graph.block_count() == 0) return {};
+  return graph.chain_to(graph.deepest_blocks().front());
+}
+
+u32 common_prefix_divergence(const BlockGraph& a, const BlockGraph& b) {
+  const std::vector<MsgId> ca = canonical_chain(a);
+  const std::vector<MsgId> cb = canonical_chain(b);
+  usize agree = 0;
+  while (agree < ca.size() && agree < cb.size() && ca[agree] == cb[agree]) ++agree;
+  const usize drop_a = ca.size() - agree;
+  const usize drop_b = cb.size() - agree;
+  return static_cast<u32>(std::max(drop_a, drop_b));
+}
+
+}  // namespace amm::chain

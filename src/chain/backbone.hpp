@@ -1,0 +1,47 @@
+// Blockchain-backbone metrics (Garay, Kiayias, Leonardos [9]; Ren [21]).
+//
+// The paper's §5.2 analysis is a resilience statement about Algorithm 5;
+// underneath it sit the three classic backbone properties, which this
+// module measures on any view of the append memory:
+//
+//  * chain growth   — blocks of longest-chain depth gained per Δ;
+//  * chain quality  — fraction of adversarial blocks in (a suffix of) the
+//                     longest chain;
+//  * common prefix  — how many suffix blocks two (possibly stale) views
+//                     disagree on, i.e. the k needed for consistency.
+//
+// These make the mechanism behind Theorems 5.3/5.4 directly observable:
+// the rushing adversary attacks chain quality, staleness attacks the
+// common prefix, and both leave chain growth intact.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "chain/block_graph.hpp"
+#include "chain/rules.hpp"
+
+namespace amm::chain {
+
+/// Chain-quality sample over the last `suffix` blocks of the chain ending
+/// at `tip`: the fraction authored by nodes satisfying `is_adversarial`.
+/// Uses the whole chain when it is shorter than `suffix`.
+double chain_quality(const BlockGraph& graph, MsgId tip, usize suffix,
+                     const std::function<bool(NodeId)>& is_adversarial);
+
+/// Chain growth between two views of the same memory: the difference of
+/// longest-chain depths divided by the elapsed interval count.
+/// `intervals` must be > 0.
+double chain_growth(const BlockGraph& earlier, const BlockGraph& later, double intervals);
+
+/// Common-prefix divergence between the longest chains of two views: the
+/// number of blocks that must be dropped from each chain until the
+/// remaining prefixes agree. Returns the max of the two drop counts — the
+/// "k" for which the k-common-prefix property would have been violated.
+/// Tie-breaking follows the deterministic-first rule for reproducibility.
+u32 common_prefix_divergence(const BlockGraph& a, const BlockGraph& b);
+
+/// Convenience: the canonical (deterministic-first) longest chain of a view.
+std::vector<MsgId> canonical_chain(const BlockGraph& graph);
+
+}  // namespace amm::chain

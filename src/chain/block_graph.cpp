@@ -1,0 +1,132 @@
+#include "chain/block_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace amm::chain {
+
+BlockGraph::BlockGraph(const MemoryView& view) : view_(view) {
+  if (view_.empty()) return;
+  const std::vector<MsgId> order = view_.by_append_time();
+
+  // Pass 1: create nodes and the id index.
+  nodes_.reserve(order.size());
+  index_.reserve(order.size());
+  for (const MsgId id : order) {
+    index_.emplace(id, nodes_.size());
+    Node n;
+    n.id = id;
+    nodes_.push_back(std::move(n));
+  }
+
+  // Pass 2: resolve references. References outside the view (a Byzantine
+  // message may cite an append this observer has not seen) are dropped;
+  // such a block hangs off the root for structural purposes.
+  for (auto& n : nodes_) {
+    const Message& m = view_.msg(n.id);
+    n.refs.reserve(m.refs.size());
+    for (const MsgId ref : m.refs) {
+      if (!contains(ref)) continue;
+      n.refs.push_back(ref);
+      node_mut(ref).referenced = true;
+    }
+    n.parent = n.refs.empty() ? kRootId : n.refs.front();
+  }
+  for (const auto& n : nodes_) {
+    if (n.parent == kRootId) {
+      root_children_.push_back(n.id);
+    } else {
+      node_mut(n.parent).children.push_back(n.id);
+    }
+  }
+
+  // Pass 3: depths via an explicit stack (no recursion; chains can be long).
+  std::vector<u8> done(nodes_.size(), 0);
+  std::vector<usize> stack;
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    if (done[i]) continue;
+    stack.push_back(i);
+    while (!stack.empty()) {
+      const usize cur = stack.back();
+      Node& n = nodes_[cur];
+      if (n.parent == kRootId) {
+        n.depth = 1;
+        done[cur] = 1;
+        stack.pop_back();
+        continue;
+      }
+      const usize pi = index_.at(n.parent);
+      if (!done[pi]) {
+        stack.push_back(pi);
+        continue;
+      }
+      n.depth = nodes_[pi].depth + 1;
+      done[cur] = 1;
+      stack.pop_back();
+    }
+  }
+  for (const auto& n : nodes_) max_depth_ = std::max(max_depth_, n.depth);
+  for (const auto& n : nodes_) {
+    if (n.depth == max_depth_) deepest_.push_back(n.id);
+  }
+
+  // Pass 4: GHOST weights — accumulate bottom-up by descending depth.
+  std::vector<usize> by_depth(nodes_.size());
+  for (usize i = 0; i < nodes_.size(); ++i) by_depth[i] = i;
+  std::stable_sort(by_depth.begin(), by_depth.end(),
+                   [this](usize a, usize b) { return nodes_[a].depth > nodes_[b].depth; });
+  for (const usize i : by_depth) {
+    const Node& n = nodes_[i];
+    if (n.parent != kRootId) node_mut(n.parent).weight += n.weight;
+  }
+
+  // Pass 5: deterministic topological order over all visible ref edges
+  // (Kahn; ready set processed in append order via a FIFO seeded in order).
+  std::vector<u32> in_degree(nodes_.size(), 0);
+  for (const auto& n : nodes_) {
+    for (const MsgId ref : n.refs) {
+      (void)ref;
+      ++in_degree[index_.at(n.id)];
+    }
+  }
+  std::deque<usize> ready;
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  // Out-edge lists: ref -> referrers.
+  std::vector<std::vector<usize>> referrers(nodes_.size());
+  for (usize i = 0; i < nodes_.size(); ++i) {
+    for (const MsgId ref : nodes_[i].refs) referrers[index_.at(ref)].push_back(i);
+  }
+  topo_.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const usize i = ready.front();
+    ready.pop_front();
+    topo_.push_back(nodes_[i].id);
+    for (const usize j : referrers[i]) {
+      if (--in_degree[j] == 0) ready.push_back(j);
+    }
+  }
+  AMM_ENSURES(topo_.size() == nodes_.size());  // views are acyclic by construction
+}
+
+std::vector<MsgId> BlockGraph::tips() const {
+  std::vector<MsgId> result;
+  for (const auto& n : nodes_) {
+    if (n.children.empty() && !n.referenced) result.push_back(n.id);
+  }
+  return result;
+}
+
+std::vector<MsgId> BlockGraph::chain_to(MsgId tip) const {
+  std::vector<MsgId> chain;
+  MsgId cur = tip;
+  while (cur != kRootId) {
+    chain.push_back(cur);
+    cur = parent(cur);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace amm::chain

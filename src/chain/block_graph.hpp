@@ -1,0 +1,103 @@
+// Interprets a MemoryView as a block graph.
+//
+// Every message references earlier appends; the first reference acts as the
+// *parent edge* (the chain/pivot structure), any further references are
+// inclusion edges (the DAG structure, as in inclusive blockchains /
+// Conflux). Messages with no references attach to a virtual root — the
+// paper's "dummy append, e.g. the empty state of the memory" (§5.3).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "am/memory.hpp"
+#include "support/assert.hpp"
+
+namespace amm::chain {
+
+using am::MemoryView;
+using am::Message;
+using am::MsgId;
+
+/// Sentinel id for the virtual root block.
+inline constexpr MsgId kRootId{~u32{0}, ~u32{0}};
+
+class BlockGraph {
+ public:
+  /// Builds the graph of every message visible in `view`. O(messages + refs).
+  explicit BlockGraph(const MemoryView& view);
+
+  const MemoryView& view() const { return view_; }
+  usize block_count() const { return nodes_.size(); }  // excludes the root
+
+  bool contains(MsgId id) const { return index_.contains(id); }
+
+  /// Parent in the chain sense (first reference), kRootId for ref-less
+  /// messages. Unseen parents (possible for Byzantine messages referencing
+  /// appends outside this view) also map to kRootId.
+  MsgId parent(MsgId id) const { return node(id).parent; }
+
+  /// Depth = distance from the virtual root along parent edges (root = 0).
+  u32 depth(MsgId id) const { return node(id).depth; }
+
+  /// Number of blocks in the subtree rooted at `id` (including itself)
+  /// under parent edges — the GHOST weight.
+  u32 subtree_weight(MsgId id) const { return node(id).weight; }
+
+  /// Children along parent edges, in insertion (append-time) order.
+  std::span<const MsgId> children(MsgId id) const { return node(id).children; }
+  std::span<const MsgId> root_children() const { return root_children_; }
+
+  /// All references of `id` that are visible in the view (parent included).
+  std::span<const MsgId> refs(MsgId id) const { return node(id).refs; }
+
+  const Message& msg(MsgId id) const { return view_.msg(id); }
+
+  /// Maximum depth over all blocks (0 if the view is empty).
+  u32 max_depth() const { return max_depth_; }
+
+  /// All blocks at maximal depth, in append-time order — the set C of "last
+  /// states in the longest chains" of Algorithm 5.
+  const std::vector<MsgId>& deepest_blocks() const { return deepest_; }
+
+  /// Blocks without children along parent edges *and* never referenced by
+  /// any other visible block — the DAG tips Algorithm 6 appends to.
+  std::vector<MsgId> tips() const;
+
+  /// The chain from the root to `tip` (root excluded), oldest first.
+  std::vector<MsgId> chain_to(MsgId tip) const;
+
+  /// Blocks in a deterministic topological order (parents and referenced
+  /// blocks before referrers; ties by append order).
+  const std::vector<MsgId>& topo_order() const { return topo_; }
+
+ private:
+  struct Node {
+    MsgId id;
+    MsgId parent = kRootId;
+    u32 depth = 0;
+    u32 weight = 1;
+    std::vector<MsgId> refs;      // visible refs only
+    std::vector<MsgId> children;  // parent-edge children
+    bool referenced = false;      // appears in someone's ref list
+  };
+
+  const Node& node(MsgId id) const {
+    const auto it = index_.find(id);
+    AMM_EXPECTS(it != index_.end());
+    return nodes_[it->second];
+  }
+  Node& node_mut(MsgId id) { return nodes_[index_.at(id)]; }
+
+  MemoryView view_;
+  std::vector<Node> nodes_;  // in append-time order
+  std::unordered_map<MsgId, usize> index_;
+  std::vector<MsgId> root_children_;
+  std::vector<MsgId> deepest_;
+  std::vector<MsgId> topo_;
+  u32 max_depth_ = 0;
+};
+
+}  // namespace amm::chain

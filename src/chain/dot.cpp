@@ -1,0 +1,60 @@
+#include "chain/dot.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_set>
+
+namespace amm::chain {
+namespace {
+
+std::string node_name(MsgId id) {
+  return "b_" + std::to_string(id.author) + "_" + std::to_string(id.seq);
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const BlockGraph& graph, const DotOptions& options) {
+  os << "digraph append_memory {\n"
+     << "  rankdir=BT;\n"
+     << "  node [shape=box, fontname=\"monospace\"];\n"
+     << "  root [label=\"∅\", shape=circle];\n";
+
+  std::unordered_set<MsgId> pivot_set;
+  if (options.show_pivot && graph.block_count() > 0) {
+    const auto pivot = select_pivot(graph, options.pivot_rule);
+    pivot_set.insert(pivot.begin(), pivot.end());
+  }
+
+  for (const MsgId id : graph.topo_order()) {
+    const am::Message& m = graph.msg(id);
+    std::ostringstream label;
+    label << "v" << id.author << "#" << id.seq;
+    if (options.show_votes) label << (m.value == Vote::kPlus ? " +" : " −");
+
+    os << "  " << node_name(id) << " [label=\"" << label.str() << "\"";
+    if (options.is_adversarial && options.is_adversarial(NodeId{id.author})) {
+      os << ", style=filled, fillcolor=\"#f4cccc\"";
+    }
+    if (pivot_set.contains(id)) os << ", penwidth=2.5";
+    os << "];\n";
+  }
+
+  for (const MsgId id : graph.topo_order()) {
+    const MsgId parent = graph.parent(id);
+    os << "  " << node_name(id) << " -> "
+       << (parent == kRootId ? std::string("root") : node_name(parent)) << ";\n";
+    for (const MsgId ref : graph.refs(id)) {
+      if (ref == parent) continue;  // parent edge already drawn solid
+      os << "  " << node_name(id) << " -> " << node_name(ref) << " [style=dashed];\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const BlockGraph& graph, const DotOptions& options) {
+  std::ostringstream oss;
+  write_dot(oss, graph, options);
+  return oss.str();
+}
+
+}  // namespace amm::chain

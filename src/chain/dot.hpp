@@ -1,0 +1,31 @@
+// Graphviz (DOT) export of block graphs — the debugging tool every chain
+// library grows eventually. Parent edges are solid, extra DAG reference
+// edges dashed; Byzantine-authored blocks (per the supplied predicate) are
+// filled red, pivot blocks get a bold border.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "chain/rules.hpp"
+
+namespace amm::chain {
+
+struct DotOptions {
+  /// Marks blocks to render as adversarial (filled). Optional.
+  std::function<bool(NodeId)> is_adversarial;
+  /// Highlights this pivot rule's chain. Set `show_pivot` to enable.
+  PivotRule pivot_rule = PivotRule::kGhost;
+  bool show_pivot = true;
+  /// Prints vote (+/-) inside each node label.
+  bool show_votes = true;
+};
+
+/// Writes the graph in DOT syntax to `os`.
+void write_dot(std::ostream& os, const BlockGraph& graph, const DotOptions& options = {});
+
+/// Convenience: DOT as a string.
+std::string to_dot(const BlockGraph& graph, const DotOptions& options = {});
+
+}  // namespace amm::chain

@@ -1,0 +1,120 @@
+#include "chain/rules.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace amm::chain {
+
+MsgId choose_longest_tip(const BlockGraph& graph, TieBreak rule, Rng& rng) {
+  const auto& deepest = graph.deepest_blocks();
+  AMM_EXPECTS(!deepest.empty());
+  switch (rule) {
+    case TieBreak::kDeterministicFirst:
+      return deepest.front();
+    case TieBreak::kRandomized:
+      return deepest[rng.uniform_below(deepest.size())];
+  }
+  AMM_ASSERT(false);
+  return kRootId;
+}
+
+std::vector<MsgId> select_pivot(const BlockGraph& graph, PivotRule rule) {
+  std::vector<MsgId> pivot;
+  if (graph.block_count() == 0) return pivot;
+
+  // For the longest-chain rule we need, per block, the height of the
+  // deepest descendant. Compute it once, bottom-up by descending depth.
+  std::unordered_map<MsgId, u32> max_reach;  // deepest depth reachable in subtree
+  {
+    std::vector<MsgId> order = graph.topo_order();
+    // Process leaves first: reverse topological order works because parent
+    // edges are a subset of reference edges.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      u32 reach = graph.depth(*it);
+      for (const MsgId c : graph.children(*it)) {
+        reach = std::max(reach, max_reach.at(c));
+      }
+      max_reach.emplace(*it, reach);
+    }
+  }
+
+  auto pick = [&](std::span<const MsgId> children) -> MsgId {
+    AMM_EXPECTS(!children.empty());
+    MsgId best = children.front();
+    for (const MsgId c : children.subspan(1)) {
+      const bool better = rule == PivotRule::kGhost
+                              ? graph.subtree_weight(c) > graph.subtree_weight(best)
+                              : max_reach.at(c) > max_reach.at(best);
+      if (better) best = c;
+    }
+    return best;
+  };
+
+  std::span<const MsgId> frontier = graph.root_children();
+  while (!frontier.empty()) {
+    const MsgId next = pick(frontier);
+    pivot.push_back(next);
+    frontier = graph.children(next);
+  }
+  return pivot;
+}
+
+std::vector<MsgId> linearize_dag(const BlockGraph& graph, PivotRule rule) {
+  const std::vector<MsgId> pivot = select_pivot(graph, rule);
+  std::unordered_set<MsgId> pivot_set(pivot.begin(), pivot.end());
+
+  // Epoch assignment: a non-pivot block belongs to the epoch of the first
+  // pivot block that (transitively) references it. Walk the global topo
+  // order once per pivot step would be quadratic; instead assign epochs by
+  // a reverse scan: process pivot blocks in order, collecting not-yet-
+  // emitted ancestors via DFS over reference edges.
+  std::unordered_set<MsgId> emitted;
+  std::vector<MsgId> order;
+  order.reserve(graph.block_count());
+
+  // Position in the global deterministic topo order, for stable epoch-
+  // internal ordering.
+  std::unordered_map<MsgId, usize> topo_pos;
+  for (usize i = 0; i < graph.topo_order().size(); ++i) topo_pos[graph.topo_order()[i]] = i;
+
+  std::vector<MsgId> stack;
+  std::vector<MsgId> epoch;
+  for (const MsgId p : pivot) {
+    epoch.clear();
+    stack.push_back(p);
+    while (!stack.empty()) {
+      const MsgId cur = stack.back();
+      stack.pop_back();
+      if (emitted.contains(cur)) continue;
+      emitted.insert(cur);
+      epoch.push_back(cur);
+      for (const MsgId ref : graph.refs(cur)) {
+        if (!emitted.contains(ref)) stack.push_back(ref);
+      }
+    }
+    std::sort(epoch.begin(), epoch.end(),
+              [&](MsgId a, MsgId b) { return topo_pos.at(a) < topo_pos.at(b); });
+    order.insert(order.end(), epoch.begin(), epoch.end());
+  }
+  // Blocks unreachable from the pivot (withheld side branches nobody
+  // referenced) are appended last in topo order, so the output is total.
+  for (const MsgId id : graph.topo_order()) {
+    if (!emitted.contains(id)) order.push_back(id);
+  }
+  AMM_ENSURES(order.size() == graph.block_count());
+  return order;
+}
+
+std::vector<MsgId> first_k_of_chain(const BlockGraph& graph, MsgId tip, usize k) {
+  std::vector<MsgId> chain = graph.chain_to(tip);
+  if (chain.size() > k) chain.resize(k);
+  return chain;
+}
+
+i64 vote_sum(const BlockGraph& graph, const std::vector<MsgId>& ids) {
+  i64 sum = 0;
+  for (const MsgId id : ids) sum += vote_value(graph.msg(id).value);
+  return sum;
+}
+
+}  // namespace amm::chain

@@ -1,0 +1,137 @@
+#include "check/async_protocol.hpp"
+
+namespace amm::check {
+namespace {
+
+u32 nonempty_registers(const VisibleMemory& m) {
+  u32 count = 0;
+  for (const auto& reg : m) {
+    if (!reg.empty()) ++count;
+  }
+  return count;
+}
+
+u8 majority_value(const VisibleMemory& m) {
+  int ones = 0, zeros = 0;
+  for (const auto& reg : m) {
+    for (const u8 v : reg) (v != 0 ? ones : zeros)++;
+  }
+  return ones > zeros ? 1 : 0;
+}
+
+class DecideOwnInput final : public AsyncProtocol {
+ public:
+  std::string name() const override { return "decide-own-input"; }
+  Action next(u32, u8 input, u32, const VisibleMemory&) const override {
+    return Action::decide(input);
+  }
+};
+
+class MinAuthorRace final : public AsyncProtocol {
+ public:
+  explicit MinAuthorRace(u32 n) : n_(n) {}
+  std::string name() const override { return "min-author-race"; }
+
+  Action next(u32, u8 input, u32 own_appends, const VisibleMemory& visible) const override {
+    if (own_appends == 0) return Action::append(input);
+    if (nonempty_registers(visible) < n_ - 1) return Action::read();
+    for (const auto& reg : visible) {
+      if (!reg.empty()) return Action::decide(reg.front());
+    }
+    return Action::read();
+  }
+
+ private:
+  u32 n_;
+};
+
+class WaitForAll final : public AsyncProtocol {
+ public:
+  explicit WaitForAll(u32 n) : n_(n) {}
+  std::string name() const override { return "wait-for-all"; }
+
+  Action next(u32, u8 input, u32 own_appends, const VisibleMemory& visible) const override {
+    if (own_appends == 0) return Action::append(input);
+    if (nonempty_registers(visible) < n_) return Action::read();
+    return Action::decide(majority_value(visible));
+  }
+
+ private:
+  u32 n_;
+};
+
+class MajorityRace final : public AsyncProtocol {
+ public:
+  explicit MajorityRace(u32 n) : n_(n) {}
+  std::string name() const override { return "majority-race"; }
+
+  Action next(u32, u8 input, u32 own_appends, const VisibleMemory& visible) const override {
+    if (own_appends == 0) return Action::append(input);
+    if (nonempty_registers(visible) < n_ - 1) return Action::read();
+    return Action::decide(majority_value(visible));
+  }
+
+ private:
+  u32 n_;
+};
+
+class TwoPhaseMajority final : public AsyncProtocol {
+ public:
+  explicit TwoPhaseMajority(u32 n) : n_(n) {}
+  std::string name() const override { return "two-phase-majority"; }
+
+  Action next(u32, u8 input, u32 own_appends, const VisibleMemory& visible) const override {
+    if (own_appends == 0) return Action::append(input);
+
+    // Round-1 values: first entry of each register in the last-read view.
+    u32 r1_count = 0;
+    int ones = 0, zeros = 0;
+    for (const auto& reg : visible) {
+      if (reg.empty()) continue;
+      ++r1_count;
+      (reg.front() != 0 ? ones : zeros)++;
+    }
+    if (r1_count < n_ - 1) return Action::read();
+    if (own_appends == 1) return Action::append(ones > zeros ? 1 : 0);
+
+    // Round-2 proposals: second entry of each visible register.
+    u32 r2_count = 0;
+    bool all_equal = true;
+    u8 common = 0;
+    for (const auto& reg : visible) {
+      if (reg.size() < 2) continue;
+      if (r2_count == 0) {
+        common = reg[1];
+      } else if (reg[1] != common) {
+        all_equal = false;
+      }
+      ++r2_count;
+    }
+    if (r2_count < n_ - 1) return Action::read();
+    if (all_equal) return Action::decide(common);
+    return Action::read();  // mixed proposals: wait (possibly forever)
+  }
+
+ private:
+  u32 n_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncProtocol> make_decide_own_input() {
+  return std::make_unique<DecideOwnInput>();
+}
+std::unique_ptr<AsyncProtocol> make_min_author_race(u32 n) {
+  return std::make_unique<MinAuthorRace>(n);
+}
+std::unique_ptr<AsyncProtocol> make_wait_for_all(u32 n) {
+  return std::make_unique<WaitForAll>(n);
+}
+std::unique_ptr<AsyncProtocol> make_majority_race(u32 n) {
+  return std::make_unique<MajorityRace>(n);
+}
+std::unique_ptr<AsyncProtocol> make_two_phase_majority(u32 n) {
+  return std::make_unique<TwoPhaseMajority>(n);
+}
+
+}  // namespace amm::check

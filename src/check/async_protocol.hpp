@@ -1,0 +1,81 @@
+// Candidate deterministic consensus protocols for the §2 model checker.
+//
+// Theorem 2.1 is a ∀-protocols impossibility; the executable counterpart
+// is a checker that takes *concrete* candidate protocols and exhibits, for
+// each, the failure mode the theorem guarantees: an agreement/validity
+// violation, a crash-resilience violation (some v-free computation never
+// terminates), or an infinite fair schedule that stays bivalent forever
+// (the Lemma 2.2/2.3 construction).
+//
+// A protocol is a deterministic function of (node, input bit, last-read
+// memory content) to the node's next operation — exactly the §2.1 notion
+// of a configuration-driven deterministic algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace amm::check {
+
+/// Memory content visible to a node: per register, the values appended so
+/// far (a prefix of the true register, since registers are append-only).
+using VisibleMemory = std::vector<std::vector<u8>>;
+
+struct Action {
+  enum class Kind : u8 { kRead, kAppend, kDecide };
+  Kind kind = Kind::kRead;
+  u8 append_value = 0;  ///< for kAppend
+  u8 decision = 0;      ///< for kDecide (0 or 1)
+
+  static Action read() { return {Kind::kRead, 0, 0}; }
+  static Action append(u8 v) { return {Kind::kAppend, v, 0}; }
+  static Action decide(u8 v) { return {Kind::kDecide, 0, v}; }
+};
+
+class AsyncProtocol {
+ public:
+  virtual ~AsyncProtocol() = default;
+  virtual std::string name() const = 0;
+  /// Deterministic next operation from the node's knowledge: its input,
+  /// how many appends it has itself performed (internal state — an append
+  /// does NOT update the appender's view, exactly as in the paper's model,
+  /// so commutation of concurrent events is preserved), and the content of
+  /// its most recent read (empty prefixes before the first read).
+  virtual Action next(u32 node, u8 input, u32 own_appends, const VisibleMemory& visible) const = 0;
+};
+
+/// Decides its own input immediately (no communication). The strawman:
+/// violates agreement on any mixed-input configuration.
+std::unique_ptr<AsyncProtocol> make_decide_own_input();
+
+/// Appends its input once, reads until it sees appends from at least n-1
+/// registers, then decides the value of the lowest-index author it sees.
+/// Looks plausible, but two nodes can see different (n-1)-subsets —
+/// the checker finds the agreement violation.
+std::unique_ptr<AsyncProtocol> make_min_author_race(u32 n);
+
+/// Appends its input once, waits until *all* n registers are non-empty and
+/// decides the majority (ties toward 0). Safe, but not 1-resilient: if any
+/// node crashes before appending, nobody ever decides.
+std::unique_ptr<AsyncProtocol> make_wait_for_all(u32 n);
+
+/// Appends its input once, waits for n-1 registers and decides the majority
+/// of the values it sees (ties toward 0). The interesting candidate: no
+/// safety violation on some system sizes, so the checker must exhibit the
+/// FLP-style witness — a bivalent initial configuration from which every
+/// node always has a bivalence-preserving step (Lemma 2.3), i.e. a fair
+/// non-deciding schedule.
+std::unique_ptr<AsyncProtocol> make_majority_race(u32 n);
+
+/// Two-phase majority: publish the input; once n-1 round-1 values are
+/// visible, publish their majority as a round-2 proposal; decide only if
+/// n-1 round-2 proposals are visible and unanimous, otherwise keep
+/// reading. Conservative enough to be safe — which is exactly why
+/// Theorem 2.1 bites: the checker finds the bivalent initial configuration
+/// and an explicit fair schedule on which nobody ever decides.
+std::unique_ptr<AsyncProtocol> make_two_phase_majority(u32 n);
+
+}  // namespace amm::check

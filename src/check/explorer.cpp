@@ -1,0 +1,376 @@
+#include <algorithm>
+#include <optional>
+#include "check/explorer.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace amm::check {
+namespace {
+
+/// One configuration of the system (§2.1): the memory content, each node's
+/// last-read prefix lengths, and each node's decision (-1 = undecided).
+struct Config {
+  VisibleMemory memory;               // per register: appended values
+  std::vector<std::vector<u8>> lens;  // per node, per register
+  std::vector<i8> decided;
+
+  std::string key() const {
+    std::string k;
+    for (const auto& reg : memory) {
+      k.push_back(static_cast<char>(reg.size()));
+      for (const u8 v : reg) k.push_back(static_cast<char>(v));
+    }
+    k.push_back('|');
+    for (const auto& row : lens) {
+      for (const u8 l : row) k.push_back(static_cast<char>(l));
+    }
+    k.push_back('|');
+    for (const i8 d : decided) k.push_back(static_cast<char>(d));
+    return k;
+  }
+};
+
+/// The exhaustive computation graph for one initial input vector.
+class Graph {
+ public:
+  Graph(const AsyncProtocol& protocol, std::vector<u8> inputs, const ExploreLimits& limits,
+        ExploreResult& result)
+      : protocol_(protocol),
+        inputs_(std::move(inputs)),
+        n_(static_cast<u32>(inputs_.size())),
+        limits_(limits),
+        result_(result) {}
+
+  /// Builds the reachable graph via BFS. Returns false if the budget blew.
+  bool build() {
+    Config init;
+    init.memory.assign(n_, {});
+    init.lens.assign(n_, std::vector<u8>(n_, 0));
+    init.decided.assign(n_, -1);
+    intern(std::move(init));
+
+    for (u32 cur = 0; cur < configs_.size(); ++cur) {
+      if (configs_.size() > limits_.max_configs) {
+        result_.budget_exhausted = true;
+        return false;
+      }
+      succ_.emplace_back(n_, kNoStep);
+      for (u32 v = 0; v < n_; ++v) {
+        const auto next = step(cur, v);
+        if (!next) continue;  // halted node
+        succ_[cur][v] = *next;
+      }
+    }
+    // Reverse adjacency for valency propagation.
+    preds_.assign(configs_.size(), {});
+    for (u32 c = 0; c < configs_.size(); ++c) {
+      for (u32 v = 0; v < n_; ++v) {
+        const u32 s = succ_[c][v];
+        if (s != kNoStep && s != c) preds_[s].push_back(c);
+      }
+    }
+    compute_valency();
+    return true;
+  }
+
+  /// Valency mask of the initial configuration (bit0 = can decide 0, ...).
+  u8 initial_valency() const { return valency_[0]; }
+
+  /// Lemma 2.3 over every reachable bivalent configuration.
+  bool lemma23_everywhere() const {
+    for (u32 c = 0; c < configs_.size(); ++c) {
+      if (valency_[c] != 3) continue;
+      for (u32 v = 0; v < n_; ++v) {
+        if (configs_[c].decided[v] >= 0) continue;  // halted nodes take no events
+        if (!bivalent_extension_exists(c, v)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// 1-resilience: from every reachable configuration, every v-free
+  /// continuation can still reach a state where all nodes but v decided.
+  bool one_resilient() const {
+    for (u32 v = 0; v < n_; ++v) {
+      // Backward reachability, inside the v-free subgraph, from the
+      // v-free-terminated configurations.
+      std::vector<u8> ok(configs_.size(), 0);
+      std::deque<u32> queue;
+      for (u32 c = 0; c < configs_.size(); ++c) {
+        if (all_decided_except(c, v)) {
+          ok[c] = 1;
+          queue.push_back(c);
+        }
+      }
+      while (!queue.empty()) {
+        const u32 c = queue.front();
+        queue.pop_front();
+        for (const u32 p : preds_[c]) {
+          if (ok[p]) continue;
+          // p -> c via some node; only v-free edges count.
+          for (u32 u = 0; u < n_; ++u) {
+            if (u != v && succ_[p][u] == c) {
+              ok[p] = 1;
+              queue.push_back(p);
+              break;
+            }
+          }
+        }
+      }
+      for (u32 c = 0; c < configs_.size(); ++c) {
+        if (!ok[c]) return false;
+      }
+    }
+    return true;
+  }
+
+  u64 size() const { return configs_.size(); }
+
+  /// Builds the Theorem 2.1 witness: starting at the (bivalent) initial
+  /// configuration, repeatedly give the round-robin node a bivalence-
+  /// preserving step (a v-free path followed by one v-step, per Lemma 2.3)
+  /// until a (configuration, round-robin phase) pair repeats — the steps
+  /// between the two occurrences form a fair cycle of bivalent
+  /// configurations, i.e. an explicit never-deciding execution.
+  bool extract_witness(std::vector<u32>& prefix, std::vector<u32>& cycle) const {
+    if (valency_.empty() || valency_[0] != 3) return false;
+    std::unordered_map<u64, usize> seen;  // (config, rr phase) -> step count
+    std::vector<u32> steps;
+    u32 cur = 0;
+    u32 rr = 0;
+    for (u64 iter = 0; iter < 100'000; ++iter) {
+      const u64 key = (static_cast<u64>(cur) << 8) | rr;
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        prefix.assign(steps.begin(), steps.begin() + static_cast<std::ptrdiff_t>(it->second));
+        cycle.assign(steps.begin() + static_cast<std::ptrdiff_t>(it->second), steps.end());
+        return !cycle.empty();
+      }
+      seen.emplace(key, steps.size());
+
+      const u32 v = rr;
+      rr = (rr + 1) % n_;
+      if (configs_[cur].decided[v] >= 0) continue;  // halted nodes take no events
+
+      // BFS over v-free edges to the nearest D with bivalent e_v(D).
+      std::vector<i64> parent_cfg(configs_.size(), -1);
+      std::vector<u32> parent_step(configs_.size(), 0);
+      std::vector<u8> visited(configs_.size(), 0);
+      std::deque<u32> queue{cur};
+      visited[cur] = 1;
+      i64 found = -1;
+      while (!queue.empty() && found < 0) {
+        const u32 d = queue.front();
+        queue.pop_front();
+        const u32 after_v = succ_[d][v];
+        if (after_v != kNoStep && valency_[after_v] == 3) {
+          found = d;
+          break;
+        }
+        for (u32 u = 0; u < n_; ++u) {
+          if (u == v) continue;
+          const u32 s = succ_[d][u];
+          if (s != kNoStep && !visited[s]) {
+            visited[s] = 1;
+            parent_cfg[s] = d;
+            parent_step[s] = u;
+            queue.push_back(s);
+          }
+        }
+      }
+      if (found < 0) {
+        // Lemma 2.3 fails at (cur, v): no full cycle. Report the fair
+        // bivalence-preserving prefix built so far — the schedule on which
+        // the adversary kept the outcome open with every node stepping.
+        prefix = steps;
+        cycle.clear();
+        return false;
+      }
+
+      // Reconstruct the v-free path, then take v's step.
+      std::vector<u32> path;
+      for (u32 d = static_cast<u32>(found); d != cur; d = static_cast<u32>(parent_cfg[d])) {
+        path.push_back(parent_step[d]);
+      }
+      steps.insert(steps.end(), path.rbegin(), path.rend());
+      steps.push_back(v);
+      cur = succ_[static_cast<u32>(found)][v];
+    }
+    return false;
+  }
+
+ private:
+  static constexpr u32 kNoStep = ~u32{0};
+
+  u32 intern(Config cfg) {
+    auto key = cfg.key();
+    const auto it = index_.find(key);
+    if (it != index_.end()) return it->second;
+    const u32 id = static_cast<u32>(configs_.size());
+    index_.emplace(std::move(key), id);
+    configs_.push_back(std::move(cfg));
+    return id;
+  }
+
+  /// Applies node v's next event to configuration `cur`; nullopt if halted.
+  std::optional<u32> step(u32 cur, u32 v) {
+    // Copy: configs_ may reallocate on intern().
+    Config cfg = configs_[cur];
+    if (cfg.decided[v] >= 0) return std::nullopt;
+
+    // The node's knowledge: its last-read prefixes (appends do NOT update
+    // the appender's own view — §2.1 semantics) plus its own append count,
+    // which is internal state.
+    VisibleMemory visible(n_);
+    for (u32 r = 0; r < n_; ++r) {
+      visible[r].assign(cfg.memory[r].begin(), cfg.memory[r].begin() + cfg.lens[v][r]);
+    }
+    const u32 own_appends = static_cast<u32>(cfg.memory[v].size());
+    const Action action = protocol_.next(v, inputs_[v], own_appends, visible);
+    switch (action.kind) {
+      case Action::Kind::kRead:
+        for (u32 r = 0; r < n_; ++r) cfg.lens[v][r] = static_cast<u8>(cfg.memory[r].size());
+        break;
+      case Action::Kind::kAppend:
+        if (cfg.memory[v].size() >= limits_.max_appends_per_node) {
+          result_.append_bound_exceeded = true;
+          return std::nullopt;
+        }
+        cfg.memory[v].push_back(action.append_value);
+        break;
+      case Action::Kind::kDecide: {
+        cfg.decided[v] = static_cast<i8>(action.decision);
+        for (u32 u = 0; u < n_; ++u) {
+          if (u != v && cfg.decided[u] >= 0 && cfg.decided[u] != cfg.decided[v]) {
+            result_.agreement_violation = true;
+          }
+        }
+        const bool homogeneous =
+            std::all_of(inputs_.begin(), inputs_.end(), [&](u8 b) { return b == inputs_[0]; });
+        if (homogeneous && action.decision != inputs_[0]) result_.validity_violation = true;
+        break;
+      }
+    }
+    return intern(std::move(cfg));
+  }
+
+  /// Decision values reachable from each configuration, via backward
+  /// propagation from deciding configurations (handles cycles).
+  void compute_valency() {
+    valency_.assign(configs_.size(), 0);
+    for (u8 bit = 0; bit < 2; ++bit) {
+      std::deque<u32> queue;
+      for (u32 c = 0; c < configs_.size(); ++c) {
+        for (const i8 d : configs_[c].decided) {
+          if (d == static_cast<i8>(bit)) {
+            if (!(valency_[c] & (1u << bit))) {
+              valency_[c] = static_cast<u8>(valency_[c] | (1u << bit));
+              queue.push_back(c);
+            }
+            break;
+          }
+        }
+      }
+      while (!queue.empty()) {
+        const u32 c = queue.front();
+        queue.pop_front();
+        for (const u32 p : preds_[c]) {
+          if (!(valency_[p] & (1u << bit))) {
+            valency_[p] = static_cast<u8>(valency_[p] | (1u << bit));
+            queue.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  /// Lemma 2.3 for one (bivalent config, node) pair: a v-free path followed
+  /// by one v-step that lands on a bivalent configuration.
+  bool bivalent_extension_exists(u32 c, u32 v) const {
+    std::vector<u8> seen(configs_.size(), 0);
+    std::deque<u32> queue{c};
+    seen[c] = 1;
+    while (!queue.empty()) {
+      const u32 d = queue.front();
+      queue.pop_front();
+      const u32 after_v = succ_[d][v];
+      if (after_v != kNoStep && valency_[after_v] == 3) return true;
+      for (u32 u = 0; u < n_; ++u) {
+        if (u == v) continue;
+        const u32 s = succ_[d][u];
+        if (s != kNoStep && !seen[s]) {
+          seen[s] = 1;
+          queue.push_back(s);
+        }
+      }
+    }
+    return false;
+  }
+
+  bool all_decided_except(u32 c, u32 v) const {
+    for (u32 u = 0; u < n_; ++u) {
+      if (u != v && configs_[c].decided[u] < 0) return false;
+    }
+    return true;
+  }
+
+  const AsyncProtocol& protocol_;
+  std::vector<u8> inputs_;
+  u32 n_;
+  ExploreLimits limits_;
+  ExploreResult& result_;
+
+  std::vector<Config> configs_;
+  std::unordered_map<std::string, u32> index_;
+  std::vector<std::vector<u32>> succ_;
+  std::vector<std::vector<u32>> preds_;
+  std::vector<u8> valency_;
+};
+
+}  // namespace
+
+std::string ExploreResult::verdict() const {
+  if (append_bound_exceeded) return "append bound exceeded";
+  if (budget_exhausted) return "budget exhausted";
+  if (agreement_violation) return "agreement violated";
+  if (validity_violation) return "validity violated";
+  if (!one_resilient) return "not 1-resilient (v-free run never decides)";
+  if (bivalent_initial && lemma23_holds) {
+    return "FLP witness: fair schedule stays bivalent forever";
+  }
+  if (!bivalent_initial) return "no bivalent initial configuration (degenerate)";
+  return "lemma 2.3 escape found (protocol evades the construction)";
+}
+
+ExploreResult explore(const AsyncProtocol& protocol, u32 n, const ExploreLimits& limits) {
+  AMM_EXPECTS(n >= 2 && n <= 8);
+  ExploreResult result;
+  result.protocol = protocol.name();
+  result.n = n;
+
+  for (u32 bits = 0; bits < (1u << n); ++bits) {
+    std::vector<u8> inputs(n);
+    for (u32 v = 0; v < n; ++v) inputs[v] = (bits >> v) & 1u;
+
+    Graph graph(protocol, inputs, limits, result);
+    if (!graph.build()) return result;
+    result.configs_explored += graph.size();
+
+    if (graph.initial_valency() == 3 && !result.bivalent_initial) {
+      result.bivalent_initial = inputs;
+      if (result.witness_cycle.empty()) {
+        graph.extract_witness(result.witness_prefix, result.witness_cycle);
+      }
+    }
+    if (graph.initial_valency() == 3 && !graph.lemma23_everywhere()) {
+      result.lemma23_holds = false;
+    }
+    if (!graph.one_resilient()) result.one_resilient = false;
+  }
+  return result;
+}
+
+}  // namespace amm::check

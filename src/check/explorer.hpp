@@ -1,0 +1,73 @@
+// Exhaustive computation-graph exploration for the §2 impossibility
+// machinery: configurations, accessibility, valency classification
+// (§2.1), bivalent initial configurations (Lemma 2.2), bivalence-
+// preserving extensions (Lemma 2.3) and crash-resilience (v-free
+// termination).
+//
+// A configuration is (memory content, per-node last-read prefixes,
+// per-node decision). Events are per-node protocol steps; reads of an
+// unchanged memory are the self-loops of §2.1 property (b). A node always
+// sees its own register truthfully (it wrote it); other registers are as
+// of its last read.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/async_protocol.hpp"
+
+namespace amm::check {
+
+struct ExploreLimits {
+  u32 max_appends_per_node = 3;   ///< protocol exceeding this is flagged
+  u64 max_configs = 2'000'000;    ///< exploration budget
+};
+
+/// Verdict for one (protocol, n, inputs-universe) exploration.
+struct ExploreResult {
+  std::string protocol;
+  u32 n = 0;
+  u64 configs_explored = 0;
+  bool budget_exhausted = false;
+  bool append_bound_exceeded = false;
+
+  /// Safety.
+  bool agreement_violation = false;
+  bool validity_violation = false;
+
+  /// Lemma 2.2: some initial input vector is bivalent.
+  std::optional<std::vector<u8>> bivalent_initial;
+
+  /// Lemma 2.3 over the whole reachable graph: from every reachable
+  /// bivalent configuration, for *every* node v, a v-free path followed by
+  /// one v-step reaches a bivalent configuration again. When this holds
+  /// with a bivalent initial configuration, the round-robin construction of
+  /// Theorem 2.1 yields an infinite fair schedule that never decides.
+  bool lemma23_holds = true;
+
+  /// 1-resilience: false if some node v and reachable configuration exist
+  /// from which no v-free continuation ever reaches a state where all
+  /// other nodes have decided.
+  bool one_resilient = true;
+
+  /// When the FLP construction applies (bivalent initial configuration and
+  /// Lemma 2.3 holding along the way), the checker extracts an explicit
+  /// fair schedule of bivalence-preserving steps. If a (configuration,
+  /// round-robin phase) pair repeats, `witness_cycle` is non-empty and
+  /// `witness_prefix` + endlessly repeating `witness_cycle` is a concrete
+  /// never-deciding execution — Theorem 2.1's object, not just its
+  /// verdict. Otherwise `witness_prefix` is the longest fair
+  /// bivalence-preserving schedule found before Lemma 2.3's hypothesis
+  /// (1-resilience) failed at some configuration.
+  std::vector<u32> witness_prefix;  ///< node ids, from the bivalent initial config
+  std::vector<u32> witness_cycle;   ///< node ids; repeats forever, covers every node
+
+  /// Human-readable classification of how the protocol fails Theorem 2.1.
+  std::string verdict() const;
+};
+
+/// Explores every initial input vector in {0,1}^n for the given protocol.
+ExploreResult explore(const AsyncProtocol& protocol, u32 n, const ExploreLimits& limits = {});
+
+}  // namespace amm::check

@@ -1,0 +1,91 @@
+// Shared machinery for the exhaustive synchronous-adversary searches
+// (round_lb, sync_valency): a canonical enumeration of per-round Byzantine
+// choices and an adversary that replays a fixed choice vector.
+//
+// Choice encoding, per (round, Byzantine node):
+//   0                  — stay silent
+//   1 + c, where       — append, with
+//     c % 2            —   value (0 = -1, 1 = +1)
+//     (c / 2) % 2      —   references (0 = honest L_{r-1}, 1 = private chain)
+//     c / 4            —   visibility subset index over the correct nodes
+#pragma once
+
+#include <vector>
+
+#include "protocols/sync_ba.hpp"
+
+namespace amm::check {
+
+/// Visibility subsets over `correct` nodes: complete enumeration for small
+/// systems, a representative family otherwise (sets `truncated`).
+inline std::vector<std::vector<bool>> visibility_subsets(u32 correct, bool* truncated) {
+  std::vector<std::vector<bool>> subsets;
+  if (correct <= 4) {
+    if (truncated) *truncated = false;
+    for (u32 bits = 0; bits < (1u << correct); ++bits) {
+      std::vector<bool> sub(correct);
+      for (u32 v = 0; v < correct; ++v) sub[v] = (bits >> v) & 1u;
+      subsets.push_back(std::move(sub));
+    }
+  } else {
+    if (truncated) *truncated = true;
+    for (const double frac : {0.0, 0.5, 1.0}) {
+      std::vector<bool> sub(correct);
+      for (u32 v = 0; v < correct; ++v) sub[v] = v < static_cast<u32>(frac * correct);
+      subsets.push_back(std::move(sub));
+    }
+  }
+  return subsets;
+}
+
+/// Number of distinct choices per (round, node) slot given the subsets.
+inline u32 choices_per_slot(usize subset_count) {
+  return 1 + 4 * static_cast<u32>(subset_count);
+}
+
+/// Replays one choice per (round, Byzantine node), row-major by round.
+class ReplayAdversary final : public proto::SyncAdversary {
+ public:
+  ReplayAdversary(const std::vector<u32>& choices, const std::vector<std::vector<bool>>& subsets,
+                  u32 t)
+      : choices_(&choices), subsets_(&subsets), t_(t) {}
+
+  std::optional<proto::SyncAppend> on_round(u32 round, NodeId byz,
+                                            const proto::SyncContext& ctx) override {
+    const proto::Scenario& s = *ctx.scenario;
+    const u32 rank = byz.index - s.correct_count();
+    const u32 choice = (*choices_)[(round - 1) * t_ + rank];
+    if (choice == 0) return std::nullopt;
+
+    const u32 c = choice - 1;
+    const u32 value_bit = c % 2;
+    const u32 ref_mode = (c / 2) % 2;
+    const u32 subset = c / 4;
+
+    proto::SyncAppend app;
+    app.value = value_bit != 0 ? Vote::kPlus : Vote::kMinus;
+    if (ref_mode == 0) {
+      app.refs = ctx.prev_round_views->at(byz.index);
+    } else {
+      const auto& msgs = *ctx.msgs;
+      for (u32 i = static_cast<u32>(msgs.size()); i-- > 0;) {
+        if (s.is_byzantine(msgs[i].author)) {
+          app.refs.push_back(i);
+          break;
+        }
+      }
+    }
+    app.visible_to.assign(s.n, false);
+    for (u32 v = s.correct_count(); v < s.n; ++v) app.visible_to[v] = true;
+    const auto& sub = (*subsets_)[subset];
+    for (u32 v = 0; v < s.correct_count(); ++v) app.visible_to[v] = sub[v];
+    return app;
+  }
+
+ private:
+  const std::vector<u32>* choices_;
+  const std::vector<std::vector<bool>>* subsets_;
+  u32 t_;
+};
+
+}  // namespace amm::check

@@ -1,0 +1,64 @@
+#include "check/round_lb.hpp"
+
+#include <vector>
+
+#include "check/replay_adversary.hpp"
+#include "support/assert.hpp"
+
+namespace amm::check {
+
+RoundLbResult search_round_lb(u32 n, u32 t, u32 rounds) {
+  AMM_EXPECTS(t >= 1 && t < n);
+  AMM_EXPECTS(rounds >= 1);
+  RoundLbResult result;
+  result.n = n;
+  result.t = t;
+  result.rounds = rounds;
+
+  const u32 correct = n - t;
+  const auto subsets = visibility_subsets(correct, &result.search_truncated);
+  const u32 per_slot = choices_per_slot(subsets.size());
+  const u32 slots = rounds * t;
+
+  // Correct-input vectors: all of {+1,-1}^(n-t).
+  std::vector<std::vector<Vote>> input_vectors;
+  for (u32 bits = 0; bits < (1u << correct); ++bits) {
+    std::vector<Vote> in(correct);
+    for (u32 v = 0; v < correct; ++v) in[v] = ((bits >> v) & 1u) ? Vote::kPlus : Vote::kMinus;
+    input_vectors.push_back(std::move(in));
+  }
+
+  // Odometer over the full strategy space.
+  std::vector<u32> choices(slots, 0);
+  for (;;) {
+    for (const auto& inputs : input_vectors) {
+      proto::Scenario s;
+      s.n = n;
+      s.t = t;
+      s.inputs = inputs;
+
+      proto::SyncParams params;
+      params.scenario = s;
+      params.rounds_override = rounds;
+
+      ReplayAdversary adversary(choices, subsets, t);
+      const proto::Outcome out = proto::run_sync_ba(params, adversary);
+      ++result.executions;
+      if (!out.agreement()) {
+        result.disagreement = true;
+        return result;
+      }
+    }
+    // Advance the odometer.
+    u32 pos = 0;
+    while (pos < slots) {
+      if (++choices[pos] < per_slot) break;
+      choices[pos] = 0;
+      ++pos;
+    }
+    if (pos == slots) break;
+  }
+  return result;
+}
+
+}  // namespace amm::check

@@ -1,0 +1,32 @@
+// Executable form of Lemma 3.1 (t+1 round lower bound).
+//
+// For small systems, exhaustively search the Byzantine strategy space of
+// the synchronous runner — every per-round combination of (appending or
+// not, honest vs. private-chain references, visibility subset) for every
+// Byzantine node, across every correct-input vector — and report whether
+// any strategy makes two correct nodes decide differently when Algorithm 1
+// is run with a given number of rounds.
+//
+// The paper predicts: disagreement strategies exist for rounds ≤ t and
+// none exist at rounds = t+1 (Theorem 3.2).
+#pragma once
+
+#include "protocols/outcome.hpp"
+
+namespace amm::check {
+
+struct RoundLbResult {
+  u32 n = 0;
+  u32 t = 0;
+  u32 rounds = 0;
+  u64 executions = 0;   ///< protocol runs performed
+  bool disagreement = false;  ///< some strategy splits the correct decisions
+  bool search_truncated = false;  ///< visibility subsets were subsampled
+};
+
+/// Exhaustive search. Complete for n - t <= 4 (every visibility subset is
+/// tried); larger systems fall back to a representative subset family and
+/// set `search_truncated`.
+RoundLbResult search_round_lb(u32 n, u32 t, u32 rounds);
+
+}  // namespace amm::check

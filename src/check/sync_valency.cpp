@@ -1,0 +1,104 @@
+#include "check/sync_valency.hpp"
+
+#include "check/replay_adversary.hpp"
+#include "support/assert.hpp"
+
+namespace amm::check {
+namespace {
+
+/// Recursive enumerator over the adversary strategy tree. Each tree level
+/// fixes all Byzantine choices of one round; leaves run the protocol.
+class ValencyExplorer {
+ public:
+  ValencyExplorer(u32 n, u32 t, u32 rounds, const std::vector<Vote>& inputs,
+                  SyncValencyResult& result)
+      : n_(n), t_(t), rounds_(rounds), inputs_(inputs), result_(result) {
+    bool truncated = false;
+    subsets_ = visibility_subsets(n - t, &truncated);
+    per_slot_ = choices_per_slot(subsets_.size());
+    choices_.assign(rounds_ * t_, 0);
+  }
+
+  /// Valency bits of the prefix ending at `round` (0 = nothing fixed yet):
+  /// bit0 = some completion makes some node decide -1, bit1 = ... +1,
+  /// bit2 = some completion splits the nodes.
+  u8 explore(u32 round) {
+    if (round == rounds_) return run_leaf();
+
+    u8 bits = 0;
+    // Enumerate this round's full choice combination (one per Byzantine).
+    std::vector<u32> combo(t_, 0);
+    for (;;) {
+      for (u32 b = 0; b < t_; ++b) choices_[round * t_ + b] = combo[b];
+      bits |= explore(round + 1);
+      u32 pos = 0;
+      while (pos < t_) {
+        if (++combo[pos] < per_slot_) break;
+        combo[pos] = 0;
+        ++pos;
+      }
+      if (pos == t_) break;
+    }
+
+    // Classify this prefix (the configuration at the end of `round`).
+    RoundValency& rv = result_.per_round[round];
+    ++rv.configurations;
+    if ((bits & 0b11) == 0b11) ++rv.bivalent;
+    if (bits & 0b100) rv.disagreement_reachable = true;
+    return bits;
+  }
+
+ private:
+  u8 run_leaf() {
+    proto::Scenario s;
+    s.n = n_;
+    s.t = t_;
+    s.inputs = inputs_;
+    proto::SyncParams params;
+    params.scenario = s;
+    params.rounds_override = rounds_;
+
+    ReplayAdversary adversary(choices_, subsets_, t_);
+    const proto::Outcome out = proto::run_sync_ba(params, adversary);
+
+    u8 bits = 0;
+    bool saw_minus = false, saw_plus = false;
+    for (const auto& d : out.decisions) {
+      if (!d) continue;
+      (*d == Vote::kMinus ? saw_minus : saw_plus) = true;
+    }
+    if (saw_minus) bits |= 0b001;
+    if (saw_plus) bits |= 0b010;
+    if (saw_minus && saw_plus) bits |= 0b100;
+    return bits;
+  }
+
+  u32 n_, t_, rounds_;
+  std::vector<Vote> inputs_;
+  SyncValencyResult& result_;
+  std::vector<std::vector<bool>> subsets_;
+  u32 per_slot_ = 0;
+  std::vector<u32> choices_;
+};
+
+}  // namespace
+
+SyncValencyResult analyze_sync_valency(u32 n, u32 t, u32 rounds,
+                                       const std::vector<Vote>& correct_inputs) {
+  AMM_EXPECTS(t >= 1 && t < n);
+  AMM_EXPECTS(rounds >= 1);
+  AMM_EXPECTS(correct_inputs.size() == n - t);
+
+  SyncValencyResult result;
+  result.n = n;
+  result.t = t;
+  result.rounds = rounds;
+  result.per_round.resize(rounds);
+  for (u32 r = 0; r < rounds; ++r) result.per_round[r].round = r;
+
+  ValencyExplorer explorer(n, t, rounds, correct_inputs, result);
+  result.initial_valency = static_cast<u8>(explorer.explore(0) & 0b11);
+  return result;
+}
+
+}  // namespace amm::check

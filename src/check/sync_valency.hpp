@@ -1,0 +1,47 @@
+// Valency analysis of the synchronous model — Lemma 3.1 stated directly.
+//
+// A round-i configuration is the transcript of everything appended (with
+// its visibility) through round i. Its *valency* is the set of outcome
+// profiles reachable over the adversary's remaining choices (the correct
+// nodes are deterministic, so the adversary's strategy tree is the only
+// branching). The lemma says: for every i ≤ t some round-i configuration
+// is bivalent — both a (+1)-deciding and a (−1)-deciding completion exist
+// for some correct node — while running t+1 rounds forces univalence.
+//
+// This module enumerates the strategy tree exactly (small systems) and
+// classifies configurations per round, complementing the disagreement
+// search in round_lb.hpp with the proof's own vocabulary.
+#pragma once
+
+#include <vector>
+
+#include "protocols/outcome.hpp"
+
+namespace amm::check {
+
+struct RoundValency {
+  u32 round = 0;            ///< configurations at the END of this round
+  u64 configurations = 0;   ///< distinct adversary prefixes explored
+  u64 bivalent = 0;         ///< configs from which both decisions are reachable
+  bool disagreement_reachable = false;  ///< some completion splits the nodes
+};
+
+struct SyncValencyResult {
+  u32 n = 0;
+  u32 t = 0;
+  u32 rounds = 0;
+  std::vector<RoundValency> per_round;  ///< rounds 0..rounds-1 (prefix ends)
+  /// Valency of the initial configuration (bit 0: some node can decide -1,
+  /// bit 1: some node can decide +1).
+  u8 initial_valency = 0;
+};
+
+/// Exhaustively analyzes the adversary strategy tree of Algorithm 1 run
+/// for `rounds` rounds with the given heterogeneous correct inputs.
+/// Complete for n - t <= 4 (all visibility subsets); feasible only for
+/// small n, t, rounds — the lemma's construction lives at exactly that
+/// scale.
+SyncValencyResult analyze_sync_valency(u32 n, u32 t, u32 rounds,
+                                       const std::vector<Vote>& correct_inputs);
+
+}  // namespace amm::check

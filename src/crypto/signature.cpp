@@ -1,0 +1,24 @@
+#include "crypto/signature.hpp"
+
+namespace amm::crypto {
+
+KeyRegistry::KeyRegistry(u32 node_count, u64 seed) {
+  Rng rng = Rng::for_stream(seed, /*stream=*/0x5ec7e7);
+  keys_.reserve(node_count);
+  for (u32 i = 0; i < node_count; ++i) {
+    keys_.push_back(SipKey{rng.next(), rng.next()});
+  }
+}
+
+Signature KeyRegistry::sign(NodeId signer, u64 digest) const {
+  AMM_EXPECTS(signer.index < keys_.size());
+  const u64 words[] = {digest, static_cast<u64>(signer.index)};
+  return Signature{signer, siphash24(keys_[signer.index], std::span(words))};
+}
+
+bool KeyRegistry::verify(u64 digest, const Signature& sig) const {
+  if (sig.signer.index >= keys_.size()) return false;
+  return sign(sig.signer, digest).tag == sig.tag;
+}
+
+}  // namespace amm::crypto

@@ -1,0 +1,77 @@
+#include "crypto/siphash.hpp"
+
+#include <cstring>
+
+namespace amm::crypto {
+namespace {
+
+constexpr u64 rotl(u64 x, int b) { return (x << b) | (x >> (64 - b)); }
+
+struct SipState {
+  u64 v0, v1, v2, v3;
+
+  explicit SipState(SipKey key)
+      : v0(0x736f6d6570736575ULL ^ key.k0),
+        v1(0x646f72616e646f6dULL ^ key.k1),
+        v2(0x6c7967656e657261ULL ^ key.k0),
+        v3(0x7465646279746573ULL ^ key.k1) {}
+
+  void round() {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+
+  void compress(u64 m) {
+    v3 ^= m;
+    round();
+    round();
+    v0 ^= m;
+  }
+
+  u64 finalize() {
+    v2 ^= 0xff;
+    round();
+    round();
+    round();
+    round();
+    return v0 ^ v1 ^ v2 ^ v3;
+  }
+};
+
+}  // namespace
+
+u64 siphash24(SipKey key, std::span<const std::byte> data) {
+  SipState st(key);
+  const usize n = data.size();
+  usize i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 m;
+    std::memcpy(&m, data.data() + i, 8);
+    st.compress(m);
+  }
+  // Final block: remaining bytes plus the length in the top byte.
+  u64 last = static_cast<u64>(n & 0xff) << 56;
+  for (usize j = 0; i + j < n; ++j) {
+    last |= static_cast<u64>(std::to_integer<u8>(data[i + j])) << (8 * j);
+  }
+  st.compress(last);
+  return st.finalize();
+}
+
+u64 siphash24(SipKey key, std::span<const u64> words) {
+  return siphash24(key, std::as_bytes(words));
+}
+
+}  // namespace amm::crypto

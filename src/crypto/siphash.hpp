@@ -1,0 +1,27 @@
+// SipHash-2-4 (Aumasson & Bernstein) — a keyed 64-bit PRF. We use it both
+// as a fast hash for ids/digests and as the core of the simulated signature
+// scheme in §4's message-passing substrate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "support/types.hpp"
+
+namespace amm::crypto {
+
+/// 128-bit SipHash key.
+struct SipKey {
+  u64 k0 = 0;
+  u64 k1 = 0;
+
+  constexpr auto operator<=>(const SipKey&) const = default;
+};
+
+/// SipHash-2-4 of `data` under `key`.
+u64 siphash24(SipKey key, std::span<const std::byte> data);
+
+/// Convenience overload hashing a sequence of 64-bit words.
+u64 siphash24(SipKey key, std::span<const u64> words);
+
+}  // namespace amm::crypto

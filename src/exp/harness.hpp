@@ -1,0 +1,51 @@
+// Shared experiment-binary plumbing: canonical CLI flags, banner printing
+// and table emission, so every exp_* target behaves identically.
+//
+// Common flags:
+//   --trials N    Monte-Carlo trials per configuration (default per-exp)
+//   --seed S      master seed (default 20200715 — the SPAA'20 date)
+//   --threads T   worker threads (default: hardware)
+//   --csv         emit CSV instead of the ASCII table
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace amm::exp {
+
+struct Harness {
+  Harness(int argc, const char* const* argv, const std::string& title, usize default_trials)
+      : args(argc, argv),
+        trials(static_cast<usize>(args.get_int("trials", static_cast<i64>(default_trials)))),
+        seed(static_cast<u64>(args.get_int("seed", 20200715))),
+        pool(static_cast<unsigned>(args.get_int("threads", 0))),
+        csv(args.has_flag("csv")) {
+    if (!csv) {
+      std::cout << "== " << title << " ==\n"
+                << "trials/config=" << trials << " seed=" << seed << " threads=" << pool.size()
+                << "\n\n";
+    }
+  }
+
+  void emit(const Table& table, const std::string& caption = "") {
+    if (csv) {
+      table.print_csv(std::cout);
+    } else {
+      if (!caption.empty()) std::cout << caption << "\n";
+      table.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+
+  CliArgs args;
+  usize trials;
+  u64 seed;
+  ThreadPool pool;
+  bool csv;
+};
+
+}  // namespace amm::exp

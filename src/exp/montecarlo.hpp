@@ -1,0 +1,69 @@
+// Parallel Monte-Carlo trial runner for the experiment harness.
+//
+// Trials are pure functions of (trial index, private RNG) — no shared
+// mutable state (Core Guidelines CP.2/CP.3); results are accumulated into
+// thread-local aggregates and merged once at the end, so estimates are
+// independent of scheduling and fully reproducible from the master seed.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+
+namespace amm::exp {
+
+/// Estimates Pr[trial succeeds] over `trials` independent runs.
+inline BernoulliEstimate estimate_rate(ThreadPool& pool, u64 master_seed, usize trials,
+                                       const std::function<bool(usize, Rng&)>& trial) {
+  std::mutex merge_mutex;
+  BernoulliEstimate total;
+  const usize chunks = std::min<usize>(trials, pool.size() * 4);
+  const usize per_chunk = (trials + chunks - 1) / chunks;
+  for (usize c = 0; c < chunks; ++c) {
+    const usize lo = c * per_chunk;
+    const usize hi = std::min(trials, lo + per_chunk);
+    if (lo >= hi) break;
+    pool.submit([&, lo, hi] {
+      BernoulliEstimate local;
+      for (usize i = lo; i < hi; ++i) {
+        Rng rng = Rng::for_stream(master_seed, i);
+        local.add(trial(i, rng));
+      }
+      std::scoped_lock lock(merge_mutex);
+      total.merge(local);
+    });
+  }
+  pool.wait_idle();
+  return total;
+}
+
+/// Streams a real-valued statistic over `trials` independent runs.
+inline RunningStats collect_stats(ThreadPool& pool, u64 master_seed, usize trials,
+                                  const std::function<double(usize, Rng&)>& trial) {
+  std::mutex merge_mutex;
+  RunningStats total;
+  const usize chunks = std::min<usize>(trials, pool.size() * 4);
+  const usize per_chunk = (trials + chunks - 1) / chunks;
+  for (usize c = 0; c < chunks; ++c) {
+    const usize lo = c * per_chunk;
+    const usize hi = std::min(trials, lo + per_chunk);
+    if (lo >= hi) break;
+    pool.submit([&, lo, hi] {
+      RunningStats local;
+      for (usize i = lo; i < hi; ++i) {
+        Rng rng = Rng::for_stream(master_seed, i);
+        local.add(trial(i, rng));
+      }
+      std::scoped_lock lock(merge_mutex);
+      total.merge(local);
+    });
+  }
+  pool.wait_idle();
+  return total;
+}
+
+}  // namespace amm::exp

@@ -1,0 +1,151 @@
+#include "mp/abd.hpp"
+
+namespace amm::mp {
+
+AbdNode::AbdNode(NodeId id, Network& net, const crypto::KeyRegistry& keys)
+    : id_(id), net_(&net), keys_(&keys), quorum_(net.node_count() / 2 + 1) {
+  net_->attach(id_, [this](NodeId from, const WireMessage& msg) { handle(from, msg); });
+}
+
+void AbdNode::begin_append(i64 value, std::function<void()> done) {
+  AMM_EXPECTS(!pending_append_.has_value());  // one outstanding op at a time
+  SignedAppend rec;
+  rec.author = id_;
+  rec.seq = next_seq_++;
+  rec.value = value;
+  rec.sig = keys_->sign(id_, rec.digest());
+
+  pending_append_ = PendingAppend{rec.digest(), {}, std::move(done)};
+
+  WireMessage msg;
+  msg.kind = WireMessage::Kind::kAppend;
+  msg.append = rec;
+  net_->broadcast(id_, msg);
+}
+
+void AbdNode::begin_read(std::function<void(const std::vector<SignedAppend>&)> done) {
+  const u64 rid = (static_cast<u64>(id_.index) << 40) | next_read_id_++;
+  pending_reads_.emplace(rid, PendingRead{{}, std::move(done), false});
+
+  WireMessage msg;
+  msg.kind = WireMessage::Kind::kReadReq;
+  msg.read_id = rid;
+  net_->broadcast(id_, msg);
+}
+
+void AbdNode::admit(const SignedAppend& rec) {
+  const u64 d = rec.digest();
+  if (known_.contains(d)) return;
+  known_.insert(d);
+  view_.push_back(rec);
+}
+
+void AbdNode::handle(NodeId from, const WireMessage& msg) {
+  switch (msg.kind) {
+    case WireMessage::Kind::kAppend: {
+      // Verify the author's signature; a Byzantine relay cannot forge a
+      // correct author's record (Lemma 4.1).
+      if (!keys_->verify(msg.append.digest(), msg.append.sig)) return;
+      if (msg.append.sig.signer != msg.append.author) return;
+      admit(msg.append);
+      WireMessage ack;
+      ack.kind = WireMessage::Kind::kAck;
+      ack.append = msg.append;
+      ack.ack_sig = keys_->sign(id_, msg.append.digest());
+      net_->send(id_, msg.append.author, std::move(ack));
+      break;
+    }
+    case WireMessage::Kind::kAck: {
+      if (!pending_append_ || msg.append.digest() != pending_append_->digest) return;
+      if (!keys_->verify(msg.append.digest(), msg.ack_sig)) return;
+      pending_append_->ackers.insert(msg.ack_sig.signer.index);
+      if (pending_append_->ackers.size() >= quorum_) {
+        auto done = std::move(pending_append_->done);
+        pending_append_.reset();
+        if (done) done();
+      }
+      break;
+    }
+    case WireMessage::Kind::kReadReq: {
+      WireMessage reply;
+      reply.kind = WireMessage::Kind::kReadReply;
+      reply.read_id = msg.read_id;
+      reply.view = view_;  // full local view, as Algorithm 3 specifies
+      net_->send(id_, from, std::move(reply));
+      break;
+    }
+    case WireMessage::Kind::kReadReply: {
+      const auto it = pending_reads_.find(msg.read_id);
+      if (it == pending_reads_.end() || it->second.finished) return;
+      // Merge every validly signed record (Algorithm 3 line 6).
+      for (const SignedAppend& rec : msg.view) {
+        if (rec.sig.signer == rec.author && keys_->verify(rec.digest(), rec.sig)) {
+          admit(rec);
+        }
+      }
+      it->second.responders.insert(from.index);
+      if (it->second.responders.size() >= quorum_) {
+        it->second.finished = true;
+        auto done = std::move(it->second.done);
+        pending_reads_.erase(it);
+        if (done) done(view_);
+      }
+      break;
+    }
+  }
+}
+
+ForgerNode::ForgerNode(NodeId id, NodeId victim, Network& net, const crypto::KeyRegistry& keys)
+    : id_(id), victim_(victim), net_(&net), keys_(&keys) {
+  net_->attach(id_, [this](NodeId from, const WireMessage& msg) {
+    switch (msg.kind) {
+      case WireMessage::Kind::kAppend: {
+        // React only to genuine appends from others — not to our own
+        // injections echoed back by the broadcast self-delivery (that would
+        // loop forever) — and stop after a bounded number of forgeries.
+        if (msg.append.sig.signer != msg.append.author ||
+            !keys_->verify(msg.append.digest(), msg.append.sig) || forged_ > 64) {
+          return;
+        }
+        // Ack (so it cannot be blamed for liveness) but also inject a
+        // forged record in the victim's name: signed with the forger's own
+        // key, because the victim's key is out of reach — the registry
+        // hands Byzantine code no other capability.
+        WireMessage ack;
+        ack.kind = WireMessage::Kind::kAck;
+        ack.append = msg.append;
+        ack.ack_sig = keys_->sign(id_, msg.append.digest());
+        net_->send(id_, msg.append.author, std::move(ack));
+
+        SignedAppend fake;
+        fake.author = victim_;
+        fake.seq = 1'000'000 + forged_++;
+        fake.value = -42;
+        fake.sig = keys_->sign(id_, fake.digest());  // signer != author: invalid
+        WireMessage inject;
+        inject.kind = WireMessage::Kind::kAppend;
+        inject.append = fake;
+        net_->broadcast(id_, inject);
+        break;
+      }
+      case WireMessage::Kind::kReadReq: {
+        // Reply with a view containing one more forgery.
+        SignedAppend fake;
+        fake.author = victim_;
+        fake.seq = 2'000'000 + forged_++;
+        fake.value = -43;
+        fake.sig = keys_->sign(id_, fake.digest());
+        WireMessage reply;
+        reply.kind = WireMessage::Kind::kReadReply;
+        reply.read_id = msg.read_id;
+        reply.view.push_back(fake);
+        net_->send(id_, from, std::move(reply));
+        break;
+      }
+      default:
+        break;
+    }
+  });
+}
+
+}  // namespace amm::mp

@@ -1,0 +1,101 @@
+// Algorithms 2 and 3 (§4): simulating the append memory over message
+// passing, in the style of ABD [3].
+//
+//   M.append(val):  broadcast append(val)_v; every receiver verifies the
+//                   signature, adds the record to its local view and
+//                   broadcasts ack(append)_v; the appender finishes once
+//                   > n/2 distinct valid acks arrive.            (Alg. 2)
+//   M.read():       broadcast a read request; every receiver replies with
+//                   its full local view; the reader merges the views of
+//                   > n/2 nodes and finishes.                    (Alg. 3)
+//
+// Signatures make forged relays impossible (Lemma 4.1); the majority
+// intersection makes every completed append visible to every subsequent
+// read (Lemma 4.2) as long as a majority of nodes is correct and
+// available.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mp/network.hpp"
+
+namespace amm::mp {
+
+/// A correct node running the ABD-style simulation.
+class AbdNode {
+ public:
+  AbdNode(NodeId id, Network& net, const crypto::KeyRegistry& keys);
+
+  NodeId id() const { return id_; }
+
+  /// Local view M_v, in arrival order.
+  const std::vector<SignedAppend>& local_view() const { return view_; }
+
+  /// Starts an M.append(value); `done` fires when > n/2 acks arrived.
+  void begin_append(i64 value, std::function<void()> done);
+
+  /// Starts an M.read(); `done` receives the merged view.
+  void begin_read(std::function<void(const std::vector<SignedAppend>&)> done);
+
+  /// Number of append operations this node has completed (its next seq).
+  u32 appends_issued() const { return next_seq_; }
+
+ private:
+  void handle(NodeId from, const WireMessage& msg);
+  bool known(const SignedAppend& rec) const {
+    return known_.contains(rec.digest());
+  }
+  void admit(const SignedAppend& rec);
+
+  struct PendingAppend {
+    u64 digest = 0;
+    std::unordered_set<u32> ackers;
+    std::function<void()> done;
+  };
+  struct PendingRead {
+    std::unordered_set<u32> responders;
+    std::function<void(const std::vector<SignedAppend>&)> done;
+    bool finished = false;
+  };
+
+  NodeId id_;
+  Network* net_;
+  const crypto::KeyRegistry* keys_;
+  u32 quorum_;  // floor(n/2) + 1
+  u32 next_seq_ = 0;
+  u64 next_read_id_ = 0;
+  std::vector<SignedAppend> view_;
+  std::unordered_set<u64> known_;  // digests present in view_
+  std::optional<PendingAppend> pending_append_;
+  std::unordered_map<u64, PendingRead> pending_reads_;
+};
+
+/// A crashed node: attached to the network but never responds. With
+/// t < n/2 such nodes every operation still terminates.
+class CrashedNode {
+ public:
+  CrashedNode(NodeId id, Network& net) {
+    net.attach(id, [](NodeId, const WireMessage&) {});
+  }
+};
+
+/// A Byzantine forger: acks everything instantly (harmless) and injects
+/// append records with forged signatures for other authors; correct nodes
+/// must discard them (Lemma 4.1's argument).
+class ForgerNode {
+ public:
+  ForgerNode(NodeId id, NodeId victim, Network& net, const crypto::KeyRegistry& keys);
+
+ private:
+  NodeId id_;
+  NodeId victim_;
+  Network* net_;
+  const crypto::KeyRegistry* keys_;
+  u32 forged_ = 0;
+};
+
+}  // namespace amm::mp

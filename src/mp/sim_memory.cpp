@@ -1,0 +1,60 @@
+#include "mp/sim_memory.hpp"
+
+namespace amm::mp {
+
+SimulatedAppendMemory::SimulatedAppendMemory(u32 n, SimTime min_delay, SimTime max_delay,
+                                             u64 seed)
+    : keys_(n, seed), net_(n, min_delay, max_delay, Rng(seed + 1)) {
+  nodes_.reserve(n);
+  for (u32 i = 0; i < n; ++i) {
+    nodes_.push_back(std::make_unique<AbdNode>(NodeId{i}, net_, keys_));
+  }
+}
+
+void SimulatedAppendMemory::append(NodeId who, i64 value) {
+  AMM_EXPECTS(who.index < nodes_.size());
+  nodes_[who.index]->begin_append(value, [] {});
+}
+
+void SimulatedAppendMemory::read(NodeId who, std::vector<SignedAppend>* out) {
+  AMM_EXPECTS(who.index < nodes_.size());
+  AMM_EXPECTS(out != nullptr);
+  nodes_[who.index]->begin_read([out](const std::vector<SignedAppend>& view) { *out = view; });
+}
+
+void SimulatedAppendMemory::append_sync(NodeId who, i64 value) {
+  append(who, value);
+  run_until_idle();
+}
+
+std::vector<SignedAppend> SimulatedAppendMemory::read_sync(NodeId who) {
+  std::vector<SignedAppend> result;
+  read(who, &result);
+  run_until_idle();
+  return result;
+}
+
+std::vector<RoundCost> run_full_information_rounds(SimulatedAppendMemory& memory, u32 rounds) {
+  std::vector<RoundCost> costs;
+  costs.reserve(rounds);
+  Network& net = memory.network();
+  for (u32 r = 0; r < rounds; ++r) {
+    const u64 m0 = net.messages_sent();
+    const u64 b0 = net.bytes_sent();
+    // Every node appends its round value concurrently...
+    for (u32 v = 0; v < memory.node_count(); ++v) {
+      memory.append(NodeId{v}, static_cast<i64>(r));
+    }
+    memory.run_until_idle();
+    // ...then every node reads the complete memory (L_r in Algorithm 1).
+    std::vector<std::vector<SignedAppend>> views(memory.node_count());
+    for (u32 v = 0; v < memory.node_count(); ++v) {
+      memory.read(NodeId{v}, &views[v]);
+    }
+    memory.run_until_idle();
+    costs.push_back(RoundCost{net.messages_sent() - m0, net.bytes_sent() - b0});
+  }
+  return costs;
+}
+
+}  // namespace amm::mp

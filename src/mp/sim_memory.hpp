@@ -1,0 +1,66 @@
+// The full §4 stack: an append-memory facade backed by the ABD simulation.
+//
+// SimulatedAppendMemory gives protocol code the two-operation interface of
+// §1.1 (whole-memory read, single-register append) while every operation
+// actually runs Algorithms 2–3 over the simulated asynchronous network.
+// This is the bridge that lets Algorithm-1-style round protocols execute
+// on message passing, and it exposes the cost the paper warns about: view
+// sizes grow with history, so the information exchanged per round grows
+// without bound ("exponential information exchange" for full-information
+// protocols).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mp/abd.hpp"
+
+namespace amm::mp {
+
+/// One node's handle on the simulated memory. Operations are asynchronous
+/// (completion via the network's event queue); `run_until_idle()` on the
+/// owning cluster drives them to completion.
+class SimulatedAppendMemory {
+ public:
+  /// Creates the cluster: `n` correct ABD nodes over a fresh network.
+  SimulatedAppendMemory(u32 n, SimTime min_delay, SimTime max_delay, u64 seed);
+
+  u32 node_count() const { return static_cast<u32>(nodes_.size()); }
+  Network& network() { return net_; }
+
+  /// M.append(value) by `who`; completes asynchronously.
+  void append(NodeId who, i64 value);
+
+  /// M.read() by `who`; the merged view lands in `out` when complete.
+  void read(NodeId who, std::vector<SignedAppend>* out);
+
+  /// Drives the network until every outstanding operation completed.
+  void run_until_idle() { net_.queue().run(); }
+
+  /// Synchronous convenience wrappers (append/read + drive to completion).
+  void append_sync(NodeId who, i64 value);
+  std::vector<SignedAppend> read_sync(NodeId who);
+
+  const AbdNode& node(u32 i) const { return *nodes_[i]; }
+
+ private:
+  crypto::KeyRegistry keys_;
+  Network net_;
+  std::vector<std::unique_ptr<AbdNode>> nodes_;
+};
+
+/// Cost report for one synchronous round protocol executed over the
+/// simulated memory (the §4 complexity observation, quantified).
+struct RoundCost {
+  u64 messages = 0;
+  u64 bytes = 0;
+};
+
+/// Runs `rounds` rounds of a full-information exchange in the style of
+/// Algorithm 1 over the simulated memory: each round every node appends a
+/// value and then reads the whole memory. Returns the per-round costs —
+/// bytes grow linearly in the round number (total history), messages stay
+/// at Θ(n²) per round.
+std::vector<RoundCost> run_full_information_rounds(SimulatedAppendMemory& memory, u32 rounds);
+
+}  // namespace amm::mp

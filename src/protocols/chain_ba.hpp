@@ -1,0 +1,91 @@
+// Algorithm 5 (§5.2): Byzantine agreement with Chains under randomized
+// memory access.
+//
+//   while there is no longest chain of length >= k:
+//     M.read(); upon granted access:
+//       choose a tip c among the longest chains by the tie-breaking rule
+//       M.append(c, val(v))
+//   decide on the sign of the sum of the first k appends in the longest chain
+//
+// Two execution models are provided:
+//  * slotted  — time advances in intervals Δ; all appends of a slot are
+//    concurrent (they reference the slot-start state). This matches the
+//    average-case analysis in the proof of Theorem 5.4 exactly.
+//  * continuous — a merged Poisson token stream; correct nodes act on views
+//    stale by up to Δ (the read→append gap of a synchronous node), the
+//    adversary acts on the true state (rushing).
+//
+// Byzantine strategies implement the two attacks the paper analyzes:
+//  * kForkTieBreak (Theorem 5.3): fork at the deepest level and rely on the
+//    deterministic tie-breaking rule resolving ties in the adversary's
+//    favor; kills validity at t >= n/3.
+//  * kRushExtend (Theorem 5.4): play tie-breaker among the concurrent
+//    correct appends — instantly extend the first correct append of each
+//    interval so all later correct appends of the interval are wasted;
+//    kills validity when λ·t >= 1, i.e. t/n >= 1/(1+λ(n−t)).
+#pragma once
+
+#include "chain/rules.hpp"
+#include "protocols/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace amm::proto {
+
+enum class ChainAdversary {
+  kHonestOpposite,  ///< follows the protocol; only its vote is adversarial
+  kForkTieBreak,    ///< Theorem 5.3 strategy
+  kRushExtend,      ///< Theorem 5.4 strategy
+};
+
+struct ChainParams {
+  Scenario scenario;
+  u32 k = 0;                  ///< decision chain length (odd)
+  double lambda = 0.5;        ///< per-node access rate per Δ
+  SimTime delta = 1.0;        ///< Δ
+  chain::TieBreak tie_break = chain::TieBreak::kRandomized;
+  /// Worst-case deterministic rule: ties at the deepest level resolve to a
+  /// Byzantine block when one exists ("all ties broken in favor of the
+  /// adversary", proof of Theorem 5.3). Only meaningful with the
+  /// deterministic tie-break.
+  bool adversarial_ties = false;
+  ChainAdversary adversary = ChainAdversary::kHonestOpposite;
+  u64 max_slots = 1'000'000;  ///< safety bound on simulated slots/tokens
+  /// Optional per-node hash-power weights (the permissionless setting §5):
+  /// tokens are dealt proportionally to weight, total rate λ·n per Δ.
+  /// Empty = identical rates. Continuous model only.
+  std::vector<double> weights;
+};
+
+Outcome run_chain_slotted(const ChainParams& params, Rng rng);
+Outcome run_chain_continuous(const ChainParams& params, Rng rng);
+
+/// Theorem 5.4's resilience bound: the largest tolerable t/n given λ and
+/// the correct population, 1 / (1 + λ(n−t)).
+double chain_resilience_bound(u32 n, u32 t, double lambda);
+
+/// Decision (in)stability under asynchrony — the executable counterpart of
+/// Theorem 5.1/2.1's message that randomized access does not circumvent
+/// asynchronous impossibility.
+///
+/// The adversarial schedule is the classic partition: correct nodes are
+/// split into two groups; each sees its own group's appends promptly but
+/// the other group's only after `staleness_factor · Δ` (per the model,
+/// the read→append gap of an asynchronous node is unbounded — the
+/// scheduler, not the network, creates the delay). Each group decides when
+/// *its* view first shows a chain of length k; the run then continues to
+/// global length 2k. Under synchrony (staleness ≤ Δ) the decisions are
+/// stable and agree; under asynchrony the two groups grow leapfrogging
+/// branches, split their decisions, and the "decided" prefix keeps being
+/// replaced.
+struct FinalityResult {
+  bool terminated = false;
+  Vote decision_a = Vote::kPlus;      ///< group A's decision at its k-threshold
+  Vote decision_b = Vote::kPlus;      ///< group B's decision at its k-threshold
+  Vote decision_final = Vote::kPlus;  ///< canonical decision at global depth 2k
+  bool split = false;                 ///< A and B decided differently (agreement broken)
+  bool flipped = false;               ///< the final decision differs from A's
+  u32 prefix_divergence = 0;  ///< blocks of A's decided cut replaced by the end
+};
+FinalityResult run_chain_finality(const ChainParams& params, double staleness_factor, Rng rng);
+
+}  // namespace amm::proto

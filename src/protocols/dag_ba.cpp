@@ -1,0 +1,310 @@
+#include "protocols/dag_ba.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "am/memory.hpp"
+#include "chain/block_graph.hpp"
+#include "sched/poisson.hpp"
+
+namespace amm::proto {
+namespace {
+
+/// Incremental DAG state: append-order records, parent-edge depths and a
+/// lagging stale-tip frontier for the correct nodes' Δ-old views.
+class DagState {
+ public:
+  explicit DagState(u32 node_count) : memory_(node_count) {}
+
+  am::AppendMemory& memory() { return memory_; }
+
+  /// Appends a block referencing `refs` (local indices; refs[0] = parent).
+  usize append(NodeId author, Vote vote, const std::vector<usize>& refs, SimTime now, bool byz) {
+    std::vector<am::MsgId> ref_ids;
+    ref_ids.reserve(refs.size());
+    for (const usize r : refs) ref_ids.push_back(recs_[r].id);
+    const am::MsgId id = memory_.append(author, vote, /*payload=*/0, std::move(ref_ids), now);
+
+    Rec rec;
+    rec.id = id;
+    rec.time = now;
+    rec.byz = byz;
+    rec.refs = refs;
+    rec.depth = refs.empty() ? 1 : recs_[refs.front()].depth + 1;
+    recs_.push_back(std::move(rec));
+
+    const usize idx = recs_.size() - 1;
+    // True-view tip bookkeeping (for the rushing adversary).
+    for (const usize r : refs) true_tip_flags_[r] = false;
+    true_tip_flags_.push_back(true);
+    if (recs_[idx].depth >= deepest_depth_) {
+      deepest_depth_ = recs_[idx].depth;
+      deepest_idx_ = idx;
+    }
+    return idx;
+  }
+
+  usize size() const { return recs_.size(); }
+  bool byz(usize i) const { return recs_[i].byz; }
+  u32 depth(usize i) const { return recs_[i].depth; }
+
+  /// Deepest block of the true current view (dump target); size() must be > 0.
+  usize deepest() const { return deepest_idx_; }
+
+  /// True current tips (the adversary's rushing view).
+  std::vector<usize> true_tips() const {
+    std::vector<usize> tips;
+    for (usize i = 0; i < recs_.size(); ++i) {
+      if (true_tip_flags_[i]) tips.push_back(i);
+    }
+    return tips;
+  }
+
+  /// Tips of the view as of `horizon` (correct nodes' stale read). The
+  /// frontier only moves forward; callers must pass non-decreasing horizons.
+  std::vector<usize> stale_tips(SimTime horizon) {
+    while (stale_ptr_ < recs_.size() && recs_[stale_ptr_].time < horizon) {
+      for (const usize r : recs_[stale_ptr_].refs) stale_tip_flags_[r] = false;
+      stale_tip_flags_.push_back(true);
+      ++stale_ptr_;
+    }
+    std::vector<usize> tips;
+    for (usize i = 0; i < stale_ptr_; ++i) {
+      if (stale_tip_flags_[i]) tips.push_back(i);
+    }
+    return tips;
+  }
+
+ private:
+  struct Rec {
+    am::MsgId id;
+    SimTime time = 0.0;
+    u32 depth = 1;
+    bool byz = false;
+    std::vector<usize> refs;
+  };
+
+  am::AppendMemory memory_;
+  std::vector<Rec> recs_;
+  std::vector<bool> true_tip_flags_;
+  std::vector<bool> stale_tip_flags_;
+  usize stale_ptr_ = 0;
+  u32 deepest_depth_ = 0;
+  usize deepest_idx_ = 0;
+};
+
+/// Chooses the parent (refs[0]) among tips: the deepest one, ties toward
+/// the oldest — the longest-chain attachment every cited DAG rule uses.
+void order_parent_first(const DagState& st, std::vector<usize>& tips) {
+  AMM_EXPECTS(!tips.empty());
+  usize best = 0;
+  for (usize i = 1; i < tips.size(); ++i) {
+    if (st.depth(tips[i]) > st.depth(tips[best])) best = i;
+  }
+  std::swap(tips[0], tips[best]);
+}
+
+}  // namespace
+
+DagResult run_dag_continuous(const DagParams& params, Rng rng) {
+  const Scenario& s = params.scenario;
+  s.validate();
+  AMM_EXPECTS(params.k > 0 && params.k % 2 == 1);
+
+  DagState st(s.n);
+  std::optional<sched::TokenAuthority> equal_rates;
+  std::optional<sched::WeightedTokenAuthority> weighted;
+  if (params.weights.empty()) {
+    equal_rates.emplace(s.n, params.lambda, params.delta, Rng::for_stream(rng.next(), 1));
+  } else {
+    AMM_EXPECTS(params.weights.size() == s.n);
+    weighted.emplace(params.weights, params.lambda * static_cast<double>(s.n), params.delta,
+                     Rng::for_stream(rng.next(), 1));
+  }
+  auto next_token = [&] { return equal_rates ? equal_rates->next() : weighted->next(); };
+
+  const Vote byz_vote = opposite(s.correct_input);
+
+  // Withholding bookkeeping (Lemma 5.5). The adversary banks tokens inside
+  // the current quiet interval (no correct appends) and dumps a private
+  // chain once the bank can push the ordered value count to k. The banking
+  // window W caps how early the rate-and-withhold adversary stops spending
+  // tokens on the rate attack.
+  const u64 ambition = static_cast<u64>(
+      std::ceil(6.0 * params.lambda * std::log(static_cast<double>(s.n) + 1.0))) + 4;
+  const u64 window = params.adversary == DagAdversary::kRateAndWithhold
+                         ? std::min<u64>(params.k - 1, ambition)
+                         : params.k;  // withhold-only banks from the start
+
+  u64 public_count = 0;   // blocks in the public DAG (correct + Byzantine rate)
+  u64 byz_public = 0;     // Byzantine blocks among them
+  u64 bank = 0;           // withheld tokens in the current quiet interval
+  u64 gap_byz_tokens = 0; // all Byzantine tokens in the current gap (omniscient stat)
+  u64 omniscient = 0;     // max over gaps of min(gap tokens, k - public_count)
+  SimTime last_correct = 0.0;
+
+  DagResult result;
+
+  auto decide_fast = [&](u64 dumped) {
+    const u64 byz_in_cut = byz_public + dumped;
+    AMM_ASSERT(byz_in_cut <= params.k);
+    const i64 sum =
+        static_cast<i64>(params.k - byz_in_cut) - static_cast<i64>(byz_in_cut);
+    const Vote decision =
+        sum >= 0 ? s.correct_input : opposite(s.correct_input);
+    Outcome& out = result.outcome;
+    out.terminated = true;
+    out.decisions.assign(s.correct_count(), decision);
+    out.total_appends = st.size();
+    out.byz_in_decision_set = byz_in_cut;
+    out.decision_set_size = params.k;
+  };
+
+  auto decide_full = [&] {
+    // Exact Algorithm 6 lines 9–10: linearize the whole DAG along the
+    // pivot chain and take the first k values of the ordering.
+    const am::MemoryView view = st.memory().read();
+    const chain::BlockGraph graph(view);
+    const std::vector<am::MsgId> order = chain::linearize_dag(graph, params.pivot_rule);
+    i64 sum = 0;
+    u64 byz_in_cut = 0;
+    const u32 cut = std::min<u32>(params.k, static_cast<u32>(order.size()));
+    for (u32 i = 0; i < cut; ++i) {
+      const am::Message& m = view.msg(order[i]);
+      sum += vote_value(m.value);
+      if (s.is_byzantine(NodeId{m.id.author})) ++byz_in_cut;
+    }
+    Outcome& out = result.outcome;
+    out.terminated = true;
+    out.decisions.assign(s.correct_count(), sign_decision(sum));
+    out.total_appends = st.size();
+    out.byz_in_decision_set = byz_in_cut;
+    out.decision_set_size = cut;
+  };
+
+  // Temporary asynchrony (the §5.3 closing remark): correct tokens near the
+  // decision cut are exercised late; they queue here until release.
+  std::deque<std::pair<SimTime, NodeId>> delayed;
+  const u64 async_window = params.async_window != 0 ? params.async_window : window;
+
+  u64 steps = 0;
+  bool decided = false;
+
+  auto finish = [&](u64 dumped, SimTime at) {
+    result.omniscient_bound = omniscient;
+    result.outcome.elapsed = at;
+    result.outcome.rounds = steps;
+    if (params.full_ordering) {
+      decide_full();
+    } else {
+      decide_fast(dumped);
+    }
+    decided = true;
+  };
+
+  // Applies one correct append at time `when` (closing the quiet interval).
+  auto apply_correct = [&](NodeId holder, SimTime when) {
+    if (public_count < params.k) {
+      omniscient = std::max(omniscient, std::min(gap_byz_tokens, params.k - public_count));
+    }
+    gap_byz_tokens = 0;
+    if (bank > 0 && params.adversary == DagAdversary::kRateAndWithhold) {
+      // The dump did not trigger inside this gap. A withheld token is not
+      // lost: the adversary simply publishes the banked blocks now (still
+      // before this correct append), where the inclusive DAG orders them
+      // like ordinary rate-attack blocks. Withholding is therefore never
+      // worse than the pure rate attack.
+      std::vector<usize> refs = st.true_tips();
+      if (!refs.empty()) order_parent_first(st, refs);
+      for (u64 d = 0; d < bank && public_count < params.k; ++d) {
+        const std::vector<usize> r = d == 0 ? refs : std::vector<usize>{st.size() - 1};
+        st.append(NodeId{s.n - 1}, byz_vote, r, when, /*byz=*/true);
+        ++public_count;
+        ++byz_public;
+      }
+      if (public_count >= params.k) {
+        finish(0, when);
+        return;
+      }
+    }
+    bank = 0;  // withhold-only: a correct append outruns the private chain
+    last_correct = when;
+
+    std::vector<usize> refs = st.stale_tips(when - params.delta);
+    if (!refs.empty()) order_parent_first(st, refs);
+    st.append(holder, s.correct_input, refs, when, /*byz=*/false);
+    ++public_count;
+    if (public_count >= params.k) finish(0, when);
+  };
+
+  sched::Token lookahead = next_token();
+  while (steps < params.max_tokens && !decided) {
+    ++steps;
+    // Release any delayed correct append that precedes the next token.
+    if (!delayed.empty() && delayed.front().first <= lookahead.time) {
+      const auto [when, holder] = delayed.front();
+      delayed.pop_front();
+      apply_correct(holder, when);
+      continue;
+    }
+
+    const sched::Token token = lookahead;
+    lookahead = next_token();
+
+    if (s.is_byzantine(token.holder)) {
+      ++gap_byz_tokens;
+      const bool banking = params.adversary != DagAdversary::kHonestOpposite &&
+                           public_count + window >= params.k;
+      if (banking) {
+        ++bank;
+        if (public_count + bank >= params.k) {
+          // Dump: release a private chain extending the current deepest tip.
+          // The first withheld block references all current tips so every
+          // public block is ordered before it; the rest chain linearly.
+          const u64 need = params.k - public_count;
+          std::vector<usize> refs = st.true_tips();
+          if (!refs.empty()) order_parent_first(st, refs);
+          usize prev = 0;
+          for (u64 d = 0; d < need; ++d) {
+            const std::vector<usize> r = d == 0 ? refs : std::vector<usize>{prev};
+            prev = st.append(token.holder, byz_vote, r, token.time, /*byz=*/true);
+          }
+          result.dumped = need;
+          result.final_gap = token.time - last_correct;
+          omniscient = std::max(omniscient, need);
+          finish(need, token.time);
+        }
+      } else if (params.adversary != DagAdversary::kWithholdOnly) {
+        // Rate attack: protocol-following append voting the opposite value,
+        // on the adversary's true (rushing) view.
+        std::vector<usize> refs = st.true_tips();
+        if (!refs.empty()) order_parent_first(st, refs);
+        st.append(token.holder, byz_vote, refs, token.time, /*byz=*/true);
+        ++public_count;
+        ++byz_public;
+      }
+      continue;
+    }
+
+    // Correct token: under temporary asynchrony near the cut, the append
+    // happens async_delay late; otherwise immediately.
+    const bool async_active =
+        params.async_delay > 0.0 && public_count + async_window >= params.k;
+    if (async_active) {
+      delayed.emplace_back(token.time + params.async_delay, token.holder);
+    } else {
+      apply_correct(token.holder, token.time);
+    }
+  }
+  if (decided) return result;
+
+  result.outcome.terminated = false;
+  result.outcome.decisions.assign(s.correct_count(), std::nullopt);
+  result.outcome.total_appends = st.size();
+  return result;
+}
+
+}  // namespace amm::proto

@@ -1,0 +1,68 @@
+// Algorithm 6 (§5.3): Byzantine agreement with DAGs under randomized
+// memory access.
+//
+//   while there is no longest (heaviest) chain containing at least k values:
+//     M.read(); upon granted access:
+//       let C be the last states of M without child nodes (the tips)
+//       M.append(C, val(v))
+//   order the values of the DAG with respect to the longest chain
+//   decide on the sign of the sum of the first k values in the ordering
+//
+// The DAG is inclusive: every correct append references *all* tips it sees,
+// so forks never waste correct values — the root of the λ-independent
+// resilience of Theorem 5.6. The only leverage left to the adversary is
+// Lemma 5.5's withholding attack: build a private chain during a quiet
+// interval just before the decision cut and release it to claim the final
+// positions of the first-k ordering. The quiet interval is short w.h.p.
+// (≤ Δ·log n), so only O(log n) extra Byzantine values fit.
+#pragma once
+
+#include "chain/rules.hpp"
+#include "protocols/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace amm::proto {
+
+enum class DagAdversary {
+  kHonestOpposite,     ///< protocol-following, votes opposite (pure rate attack)
+  kWithholdOnly,       ///< never appends publicly; dumps a private chain at the cut
+  kRateAndWithhold,    ///< rate attack early, withholding near the decision cut
+};
+
+struct DagParams {
+  Scenario scenario;
+  u32 k = 0;            ///< decision cut size (odd)
+  double lambda = 0.5;  ///< per-node access rate per Δ
+  SimTime delta = 1.0;  ///< Δ (also the correct nodes' read staleness)
+  chain::PivotRule pivot_rule = chain::PivotRule::kGhost;
+  DagAdversary adversary = DagAdversary::kHonestOpposite;
+  /// Decide from a full BlockGraph linearization (exact Algorithm 6 line 9)
+  /// instead of the incremental bookkeeping fast path. The fast path is
+  /// exact for the quantities the experiments report (cut composition);
+  /// tests cross-validate both paths.
+  bool full_ordering = false;
+  u64 max_tokens = 10'000'000;  ///< safety bound
+  /// Optional per-node hash-power weights (the permissionless setting §5):
+  /// tokens are dealt proportionally to weight, total rate λ·n per Δ.
+  /// Empty = identical rates.
+  std::vector<double> weights;
+  /// Temporary asynchrony (the paper's closing remark in §5.3): once the
+  /// public DAG is within `async_window` values of the cut, correct tokens
+  /// are exercised `async_delay` late — asynchronous nodes may take
+  /// unboundedly long between obtaining a token and appending. The
+  /// withholding adversary's quiet interval stretches accordingly, and the
+  /// resilience of the decision cut drops. 0 = synchronous (default).
+  SimTime async_delay = 0.0;
+  u32 async_window = 0;  ///< 0 = use the adversary's banking window
+};
+
+struct DagResult {
+  Outcome outcome;
+  u64 dumped = 0;            ///< withheld Byzantine values that entered the cut
+  u64 omniscient_bound = 0;  ///< best possible dump over all observed gaps (Lemma 5.5 stat)
+  SimTime final_gap = 0.0;   ///< length of the quiet interval the dump exploited
+};
+
+DagResult run_dag_continuous(const DagParams& params, Rng rng);
+
+}  // namespace amm::proto

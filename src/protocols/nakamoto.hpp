@@ -1,0 +1,62 @@
+// Nakamoto confirmation on the append memory — the §5.2 literature
+// context (Garay et al. [9], Ren [21], Nakamoto [17]) made executable.
+//
+// Unlike Byzantine agreement, Nakamoto consensus never finalizes: a
+// transaction is accepted once its block is buried `depth` blocks deep in
+// the longest chain, and safety is the *probability* that a private
+// double-spend branch never overtakes. The classic race: the adversary
+// (power share q = t/n of the token stream) mines a withheld fork from
+// the parent of the transaction's block; the defender chain grows with
+// the correct tokens (p = 1 - q). Nakamoto's analysis gives the
+// overtaking probability ~ (q/p)^z once the defender leads by z.
+//
+// This module runs the race on the same randomized-access substrate as
+// Algorithms 4–6, tying the paper's remark that "consistency and liveness
+// do not actually require consensus" (§1.2) to measurable numbers.
+#pragma once
+
+#include "protocols/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace amm::proto {
+
+struct NakamotoParams {
+  Scenario scenario;           ///< t of n nodes are the double-spender's
+  double lambda = 0.5;         ///< per-node token rate per Δ
+  SimTime delta = 1.0;
+  u32 confirmation_depth = 6;  ///< merchant accepts when the tx is buried this deep
+  /// The attacker concedes once it trails the public chain by this many
+  /// blocks after confirmation (caps runtime; Nakamoto's analysis lets
+  /// this go to infinity).
+  u32 give_up_deficit = 30;
+  u64 max_tokens = 10'000'000;
+};
+
+struct NakamotoResult {
+  bool terminated = false;
+  bool reversed = false;        ///< the private branch overtook after acceptance
+  u64 blocks_to_confirm = 0;    ///< public blocks mined until acceptance
+  SimTime time_to_confirm = 0.0;
+  i64 final_lead = 0;           ///< public minus private length at the end
+};
+
+/// Runs one double-spend race. The transaction is in the first correct
+/// block; the attacker forks from its parent immediately (the strongest
+/// standard variant) and publishes only if it ever gets ahead after the
+/// merchant accepted.
+NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng);
+
+/// Nakamoto's closed-form overtaking bound for attacker share q and
+/// defender lead z: (q/p)^z for q < p, else 1.
+double nakamoto_overtake_bound(double q, u32 z);
+
+/// Closed-form reversal probability matching this module's race exactly:
+/// the attacker forks at the tx block, so its head start k accrues while
+/// the defender mines the remaining z−1 confirmation blocks — k is
+/// negative-binomial, NB(k; z−1, p) (Rosenfeld's exact mixture; Nakamoto's
+/// Poisson is its approximation) — and winning means getting *strictly
+/// ahead* from a deficit of z−k, a net gain of z−k+1 at odds q/p each:
+///   P = Σ_k NB(k; z−1, p) · min(1, (q/p)^{z−k+1}).
+double nakamoto_reversal_probability(double q, u32 z);
+
+}  // namespace amm::proto

@@ -1,0 +1,75 @@
+// Shared scenario description and outcome record for every Byzantine
+// agreement protocol in the library (§1.1 consensus properties).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace amm::proto {
+
+/// Which nodes are Byzantine and what the correct nodes' inputs are.
+/// By convention the *last* `t` node indices are Byzantine; experiments
+/// only depend on counts, never on which indices are faulty.
+struct Scenario {
+  u32 n = 0;  ///< total nodes
+  u32 t = 0;  ///< Byzantine nodes (indices n-t .. n-1)
+  Vote correct_input = Vote::kPlus;  ///< common input of correct nodes (validity setting)
+  /// Optional heterogeneous inputs for the correct nodes (size n-t). When
+  /// set, `correct_input` is ignored and validity is undefined — used by
+  /// the agreement/lower-bound experiments that need bivalent inputs.
+  std::vector<Vote> inputs;
+
+  u32 correct_count() const { return n - t; }
+  bool is_byzantine(NodeId id) const { return id.index >= n - t; }
+  bool homogeneous() const { return inputs.empty(); }
+  Vote input_of(u32 correct_index) const {
+    return inputs.empty() ? correct_input : inputs[correct_index];
+  }
+
+  void validate() const {
+    AMM_EXPECTS(n > 0);
+    AMM_EXPECTS(t < n);
+    AMM_EXPECTS(inputs.empty() || inputs.size() == correct_count());
+  }
+};
+
+/// Result of one protocol execution.
+struct Outcome {
+  bool terminated = false;
+  /// Decisions of the correct nodes (empty entries = undecided).
+  std::vector<std::optional<Vote>> decisions;
+
+  /// Agreement: all correct nodes that decided agree.
+  bool agreement() const {
+    std::optional<Vote> first;
+    for (const auto& d : decisions) {
+      if (!d) return false;  // a correct node failed to decide
+      if (!first) {
+        first = d;
+      } else if (*first != *d) {
+        return false;
+      }
+    }
+    return !decisions.empty();
+  }
+
+  /// All-same-validity against the scenario's common correct input.
+  bool validity(const Scenario& s) const {
+    for (const auto& d : decisions) {
+      if (!d || *d != s.correct_input) return false;
+    }
+    return !decisions.empty();
+  }
+
+  // ---- Measured quantities shared across experiments ----
+  SimTime elapsed = 0.0;        ///< simulated time until the last decision
+  u64 total_appends = 0;        ///< appends that reached the memory
+  u64 rounds = 0;               ///< rounds (synchronous protocols) / slots
+  u64 byz_in_decision_set = 0;  ///< Byzantine values among the k decisive values
+  u64 decision_set_size = 0;    ///< k
+};
+
+}  // namespace amm::proto

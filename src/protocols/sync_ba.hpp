@@ -1,0 +1,81 @@
+// Algorithm 1 (§3.2): deterministic Byzantine agreement with synchronous
+// nodes in t+1 rounds.
+//
+//   for round r = 1..t+1:
+//     M.append(val(v), L_{r-1}) with L_0 = ∅
+//     wait Δ; M.read(); L_r = set of all appended commands in round r
+//   accept val(w) if a chain of t+1 distinct nodes exists:
+//     (val(v), ∅) ∈ (w1, L_1), (w1, L_1) ∈ (w2, L_2), ..., (w_{t-1}, L_{t-1}) ∈ (w_t, L_t)
+//   decide on the majority of all accepted values
+//
+// The only Byzantine leverage in the append memory is the visibility delay
+// (§3): a Byzantine append in round r can be timed between the staggered
+// reads so that only a chosen subset of nodes sees it in round r; everyone
+// else first reads it in round r+1. The adversary interface exposes exactly
+// that power (value, claimed reference set, visibility subset), nothing
+// more — appends can never be hidden forever and never forged.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "protocols/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace amm::proto {
+
+/// One append as the synchronous runner tracks it.
+struct SyncMsg {
+  NodeId author;
+  u32 round = 0;              ///< round in which it was appended (1-based)
+  Vote value = Vote::kPlus;
+  std::vector<u32> refs;      ///< indices into the global message list
+  std::vector<bool> sees_now; ///< per node: visible already in the append round
+};
+
+/// Read-only state handed to the adversary each round.
+struct SyncContext {
+  const Scenario* scenario = nullptr;
+  u32 total_rounds = 0;
+  const std::vector<SyncMsg>* msgs = nullptr;
+  /// L_{r-1}(v): per node, the indices it attributes to the previous round.
+  const std::vector<std::vector<u32>>* prev_round_views = nullptr;
+};
+
+/// A Byzantine append for the current round.
+struct SyncAppend {
+  Vote value = Vote::kMinus;
+  std::vector<u32> refs;       ///< any already-existing messages
+  std::vector<bool> visible_to;///< nodes that see it in this round (size n)
+};
+
+/// Strategy interface: one optional append per Byzantine node per round
+/// (the model allows at most one append per node per round).
+class SyncAdversary {
+ public:
+  virtual ~SyncAdversary() = default;
+  virtual std::optional<SyncAppend> on_round(u32 round, NodeId byz, const SyncContext& ctx) = 0;
+};
+
+struct SyncParams {
+  Scenario scenario;
+  /// 0 = the protocol's t+1; smaller values demonstrate the Lemma 3.1 lower
+  /// bound by running the same protocol with too few rounds.
+  u32 rounds_override = 0;
+
+  u32 rounds() const { return rounds_override != 0 ? rounds_override : scenario.t + 1; }
+};
+
+/// Runs Algorithm 1 against the given adversary. Deterministic apart from
+/// whatever randomness the adversary itself uses.
+Outcome run_sync_ba(const SyncParams& params, SyncAdversary& adversary);
+
+/// Acceptance test used by the decision rule, exposed for tests: does
+/// `observer` accept origin message `origin`? Exact search for a reference
+/// chain of `rounds` messages with pairwise-distinct authors, layered by
+/// the observer's per-round attribution.
+bool sync_accepts(const std::vector<SyncMsg>& msgs, const Scenario& scenario, u32 rounds,
+                  NodeId observer, u32 origin);
+
+}  // namespace amm::proto

@@ -1,0 +1,40 @@
+// Algorithm 4 (§5.1): Byzantine agreement with absolute timestamps — the
+// paper's baseline for what randomized memory access can achieve when a
+// central authority totally orders all appends.
+//
+//   1: M.read()
+//   2: while there are less than k writes in the memory do
+//   3:   M.read()
+//   4:   upon granted access: M.append(val(v))
+//   7: end while
+//   8: Order all appends by the timestamps
+//   9: Decide on the sign of the sum of the first k appends
+//
+// Agreement and termination are deterministic (timestamps are global);
+// validity holds w.h.p. depending on k and the correct/Byzantine gap
+// (Theorem 5.2).
+#pragma once
+
+#include "protocols/outcome.hpp"
+#include "support/rng.hpp"
+
+namespace amm::proto {
+
+struct TimestampParams {
+  Scenario scenario;
+  u32 k = 0;             ///< decision cut; must be odd so the sign is defined
+  double lambda = 1.0;   ///< per-node access rate per Δ
+  SimTime delta = 1.0;   ///< Δ
+};
+
+/// Runs one execution against a fresh AppendMemory with a Poisson token
+/// authority. The Byzantine strategy is the proof's optimal one: every
+/// Byzantine token appends the value opposite to the correct input.
+Outcome run_timestamp_ba(const TimestampParams& params, Rng rng);
+
+/// Theorem 5.2's predicted failure bound: the normal-approximation tail
+/// Pr[sum of k votes < 0] for Byzantine share t/n. Used by exp_e4 to print
+/// predicted next to measured.
+double timestamp_validity_failure_bound(u32 n, u32 t, u32 k);
+
+}  // namespace amm::proto

@@ -1,0 +1,87 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks with a
+// deterministic tie order (FIFO among equal timestamps).
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace amm::sched {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  usize pending() const { return heap_.size(); }
+  u64 executed() const { return executed_; }
+
+  /// Schedules `fn` at absolute time `when` (must not be in the past).
+  void schedule_at(SimTime when, Handler fn) {
+    AMM_EXPECTS(when >= now_);
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after a delay relative to now.
+  void schedule_in(SimTime delay, Handler fn) {
+    AMM_EXPECTS(delay >= 0.0);
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains or `max_events` have executed.
+  /// Returns the number executed in this call.
+  u64 run(u64 max_events = ~u64{0}) {
+    u64 count = 0;
+    while (!heap_.empty() && count < max_events) {
+      step();
+      ++count;
+    }
+    return count;
+  }
+
+  /// Runs all events with time <= horizon; afterwards now() == horizon
+  /// (even if no event landed exactly there).
+  u64 run_until(SimTime horizon) {
+    u64 count = 0;
+    while (!heap_.empty() && heap_.top().when <= horizon) {
+      step();
+      ++count;
+    }
+    now_ = std::max(now_, horizon);
+    return count;
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    u64 seq;  // FIFO tiebreak for identical times: determinism matters
+    Handler fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void step() {
+    // std::priority_queue::top() is const; move out via const_cast is UB —
+    // copy the handler instead (handlers are cheap closures here).
+    Event ev = heap_.top();
+    heap_.pop();
+    AMM_ASSERT(ev.when >= now_);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  SimTime now_ = 0.0;
+  u64 next_seq_ = 0;
+  u64 executed_ = 0;
+};
+
+}  // namespace amm::sched

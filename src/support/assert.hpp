@@ -1,0 +1,32 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// Expects/Ensures (I.6/I.8). Violations abort with a source location; they
+// are programming errors, not recoverable conditions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace amm::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr, const char* file,
+                                          int line) {
+  std::fprintf(stderr, "amm: %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace amm::detail
+
+#define AMM_EXPECTS(cond)                                                       \
+  do {                                                                          \
+    if (!(cond)) ::amm::detail::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define AMM_ENSURES(cond)                                                        \
+  do {                                                                           \
+    if (!(cond)) ::amm::detail::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define AMM_ASSERT(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) ::amm::detail::contract_failure("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,51 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace amm {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    std::string name(arg.substr(2));
+    // "--name=value" form.
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      values_[name.substr(0, eq)] = name.substr(eq + 1);
+      continue;
+    }
+    // "--name value" form when the next token is not itself a flag.
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[name] = argv[i + 1];
+      ++i;
+    } else {
+      values_[name] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::lookup(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CliArgs::has_flag(const std::string& name) const { return values_.contains(name); }
+
+i64 CliArgs::get_int(const std::string& name, i64 fallback) const {
+  const auto v = lookup(name);
+  return v && !v->empty() ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = lookup(name);
+  return v && !v->empty() ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  const auto v = lookup(name);
+  return v && !v->empty() ? *v : fallback;
+}
+
+}  // namespace amm

@@ -1,0 +1,28 @@
+// Minimal command-line parsing shared by example and experiment binaries:
+// "--name value" and "--flag" pairs, with typed getters and defaults.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "support/types.hpp"
+
+namespace amm {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool has_flag(const std::string& name) const;
+  i64 get_int(const std::string& name, i64 fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& name) const;
+
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace amm

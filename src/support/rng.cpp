@@ -1,0 +1,38 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace amm {
+
+u64 Rng::poisson(double mu) {
+  AMM_EXPECTS(mu >= 0.0);
+  if (mu == 0.0) return 0;
+  if (mu < 64.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mu.
+    const double limit = std::exp(-mu);
+    u64 k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation N(mu, mu) with continuity correction.
+  const double x = mu + std::sqrt(mu) * normal() + 0.5;
+  return x < 0.0 ? 0 : static_cast<u64>(x);
+}
+
+double Rng::normal() {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  for (;;) {
+    const double u = 2.0 * uniform() - 1.0;
+    const double v = 2.0 * uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace amm

@@ -1,0 +1,108 @@
+// Streaming statistics, confidence intervals and the distribution tails the
+// paper's proofs rely on (normal, binomial, Poisson).
+#pragma once
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/types.hpp"
+
+namespace amm {
+
+/// Welford's online mean/variance accumulator. Numerically stable; O(1)
+/// memory so millions of Monte-Carlo trials can stream through it.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void merge(const RunningStats& other);
+
+  u64 count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double sem() const {
+    return count_ > 0 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+  }
+
+  /// Half-width of a ~95% confidence interval for the mean (1.96 sigma).
+  double ci95_half_width() const { return 1.959964 * sem(); }
+
+ private:
+  u64 count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Success/failure counter with a Wilson score interval — the right tool
+/// for estimating "probability that validity holds" from Bernoulli trials.
+class BernoulliEstimate {
+ public:
+  void add(bool success) {
+    ++trials_;
+    if (success) ++successes_;
+  }
+
+  void merge(const BernoulliEstimate& other) {
+    trials_ += other.trials_;
+    successes_ += other.successes_;
+  }
+
+  u64 trials() const { return trials_; }
+  u64 successes() const { return successes_; }
+
+  double rate() const {
+    return trials_ > 0 ? static_cast<double>(successes_) / static_cast<double>(trials_) : 0.0;
+  }
+
+  /// Wilson 95% score interval (lo, hi).
+  std::pair<double, double> wilson95() const;
+
+ private:
+  u64 trials_ = 0;
+  u64 successes_ = 0;
+};
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x);
+
+/// Upper tail of the standard normal, Q(x) = 1 - Φ(x).
+double normal_upper_tail(double x);
+
+/// log of the binomial coefficient C(n, k), via lgamma.
+double log_binomial(u64 n, u64 k);
+
+/// Exact binomial tail Pr[X <= k] for X ~ Bin(n, p); switches to a normal
+/// approximation for n > 10^4 where exact summation is pointless.
+double binomial_cdf(u64 k, u64 n, double p);
+
+/// Poisson upper tail Pr[X >= k] for X ~ Pois(mu).
+double poisson_upper_tail(u64 k, double mu);
+
+/// Ordinary least squares fit y ≈ a + b·x; returns {a, b, r²}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace amm

@@ -1,0 +1,83 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace amm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  AMM_EXPECTS(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AMM_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<usize> widths(headers_.size());
+  for (usize c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_rule = [&] {
+    os << '+';
+    for (const usize w : widths) {
+      for (usize i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (usize c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (usize i = cells[c].size(); i < widths[c] + 1; ++i) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_cells(row);
+  print_rule();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (usize c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, value);
+  return buf;
+}
+
+std::string fmt_ci(double rate, double lo, double hi) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.3f [%.3f, %.3f]", rate, lo, hi);
+  return buf;
+}
+
+}  // namespace amm

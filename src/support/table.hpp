@@ -1,0 +1,41 @@
+// ASCII table rendering for experiment output. Every exp_* binary prints
+// its results through this so tables are uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace amm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  usize rows() const { return rows_.size(); }
+
+  /// Renders with aligned columns, a header separator and outer rails.
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+  /// Renders as CSV (for machine consumption; pass --csv to the benches).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant decimal digits after the point.
+std::string fmt(double value, int prec = 4);
+
+/// Formats "rate [lo, hi]" for a Bernoulli estimate.
+std::string fmt_ci(double rate, double lo, double hi);
+
+}  // namespace amm

@@ -1,0 +1,82 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+
+#include "support/assert.hpp"
+
+namespace amm {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  AMM_EXPECTS(task != nullptr);
+  {
+    std::scoped_lock lock(mutex_);
+    AMM_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::scoped_lock lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, usize count, const std::function<void(usize)>& fn) {
+  if (count == 0) return;
+  // Chunk so each worker gets a contiguous block; avoids per-index overhead.
+  const usize chunks = std::min<usize>(count, pool.size() * 4);
+  const usize per_chunk = (count + chunks - 1) / chunks;
+  std::atomic<usize> remaining{0};
+  for (usize c = 0; c < chunks; ++c) {
+    const usize lo = c * per_chunk;
+    const usize hi = std::min(count, lo + per_chunk);
+    if (lo >= hi) break;
+    ++remaining;
+    pool.submit([lo, hi, &fn, &remaining] {
+      for (usize i = lo; i < hi; ++i) fn(i);
+      --remaining;
+    });
+  }
+  pool.wait_idle();
+  AMM_ENSURES(remaining == 0);
+}
+
+}  // namespace amm

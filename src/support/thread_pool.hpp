@@ -1,0 +1,54 @@
+// A small task-based thread pool (Core Guidelines CP.4: think in terms of
+// tasks, not threads). Used by the Monte-Carlo experiment runner to spread
+// independent trials across cores; each task receives only values, never
+// shared mutable state (CP.31).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace amm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Joins all workers after draining the queue (CP.23: joining thread as a
+  /// scoped container — the destructor blocks until all tasks finish).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw; they run on worker threads.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  usize in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and blocks until done.
+/// fn must be safe to call concurrently for distinct i.
+void parallel_for(ThreadPool& pool, usize count, const std::function<void(usize)>& fn);
+
+}  // namespace amm

@@ -1,0 +1,64 @@
+// Fundamental type aliases and strong identifier types shared by every
+// subsystem of the append-memory library.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace amm {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Simulated time in abstract seconds. The paper's Δ (maximum interval
+/// between two local operations of a synchronous node) is expressed in the
+/// same unit.
+using SimTime = double;
+
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+/// Index of a node (the paper's v_1..v_n, zero-based here).
+///
+/// A strong type rather than a bare integer so that node indices, register
+/// indices and sequence numbers cannot be interchanged accidentally.
+struct NodeId {
+  u32 index = 0;
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(u32 i) : index(i) {}
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+/// A ±1 vote as used by the randomized-access protocols (§5): the paper
+/// assumes input values in {-1, +1} and decides on the sign of a sum.
+enum class Vote : i8 {
+  kMinus = -1,
+  kPlus = +1,
+};
+
+constexpr int vote_value(Vote v) { return static_cast<int>(v); }
+
+constexpr Vote opposite(Vote v) { return v == Vote::kPlus ? Vote::kMinus : Vote::kPlus; }
+
+/// Sign decision: the sign of a vote sum; ties broken toward kPlus by
+/// convention (the protocols always use odd k so ties cannot occur).
+constexpr Vote sign_decision(i64 sum) { return sum >= 0 ? Vote::kPlus : Vote::kMinus; }
+
+}  // namespace amm
+
+template <>
+struct std::hash<amm::NodeId> {
+  std::size_t operator()(const amm::NodeId& id) const noexcept {
+    return std::hash<amm::u32>{}(id.index);
+  }
+};

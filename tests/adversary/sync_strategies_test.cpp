@@ -1,0 +1,129 @@
+// Direct unit tests of the Byzantine strategy objects (they are otherwise
+// only exercised through the protocol runner).
+#include "adversary/sync_strategies.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::adv {
+namespace {
+
+using proto::Scenario;
+using proto::SyncContext;
+using proto::SyncMsg;
+
+struct ContextFixture {
+  ContextFixture(u32 n, u32 t, u32 rounds) {
+    scenario.n = n;
+    scenario.t = t;
+    views.assign(n, {});
+    ctx.scenario = &scenario;
+    ctx.total_rounds = rounds;
+    ctx.msgs = &msgs;
+    ctx.prev_round_views = &views;
+  }
+
+  Scenario scenario;
+  std::vector<SyncMsg> msgs;
+  std::vector<std::vector<u32>> views;
+  SyncContext ctx;
+};
+
+TEST(SilentSync, NeverAppends) {
+  SilentSync silent;
+  ContextFixture f(5, 2, 3);
+  for (u32 r = 1; r <= 3; ++r) {
+    EXPECT_FALSE(silent.on_round(r, NodeId{3}, f.ctx).has_value());
+  }
+}
+
+TEST(OppositeVoterSync, AppendsEveryRoundFullyVisible) {
+  OppositeVoterSync opp(Vote::kMinus);
+  ContextFixture f(4, 1, 2);
+  f.views[3] = {0, 1};  // the node's honest previous-round view
+  const auto app = opp.on_round(1, NodeId{3}, f.ctx);
+  ASSERT_TRUE(app.has_value());
+  EXPECT_EQ(app->value, Vote::kMinus);
+  EXPECT_EQ(app->refs, (std::vector<u32>{0, 1}));
+  EXPECT_EQ(app->visible_to, std::vector<bool>(4, true));
+}
+
+TEST(CrashSync, AppendsUntilCrashRound) {
+  CrashSync crash(Vote::kPlus, /*crash_round=*/3);
+  ContextFixture f(4, 1, 5);
+  EXPECT_TRUE(crash.on_round(1, NodeId{3}, f.ctx).has_value());
+  EXPECT_TRUE(crash.on_round(2, NodeId{3}, f.ctx).has_value());
+  EXPECT_FALSE(crash.on_round(3, NodeId{3}, f.ctx).has_value());
+  EXPECT_FALSE(crash.on_round(4, NodeId{3}, f.ctx).has_value());
+}
+
+TEST(CrashSync, CrashFromStartIsSilent) {
+  CrashSync crash(Vote::kPlus, 1);
+  ContextFixture f(3, 1, 2);
+  EXPECT_FALSE(crash.on_round(1, NodeId{2}, f.ctx).has_value());
+}
+
+TEST(SplitVisionSync, ByzantineAlwaysSeeEachOther) {
+  SplitVisionSync split(Vote::kMinus, Rng(3));
+  ContextFixture f(6, 2, 3);
+  for (int i = 0; i < 20; ++i) {
+    const auto app = split.on_round(1, NodeId{4}, f.ctx);
+    ASSERT_TRUE(app.has_value());
+    EXPECT_TRUE(app->visible_to[4]);
+    EXPECT_TRUE(app->visible_to[5]);
+  }
+}
+
+TEST(SplitVisionSync, VisibilityActuallyVaries) {
+  SplitVisionSync split(Vote::kMinus, Rng(4));
+  ContextFixture f(10, 1, 2);
+  bool saw_true = false, saw_false = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto app = split.on_round(1, NodeId{9}, f.ctx);
+    for (u32 v = 0; v < 9; ++v) {
+      (app->visible_to[v] ? saw_true : saw_false) = true;
+    }
+  }
+  EXPECT_TRUE(saw_true);
+  EXPECT_TRUE(saw_false);
+}
+
+TEST(LastRoundSplitSync, OneStaircaseStepPerRound) {
+  // b_i appends only in round i: rank 0 in round 1, rank 1 in round 2.
+  LastRoundSplitSync attack(Vote::kMinus, 1);
+  ContextFixture f(5, 2, 2);
+  EXPECT_TRUE(attack.on_round(1, NodeId{3}, f.ctx).has_value());
+  EXPECT_FALSE(attack.on_round(2, NodeId{3}, f.ctx).has_value());
+  EXPECT_FALSE(attack.on_round(1, NodeId{4}, f.ctx).has_value());
+}
+
+TEST(LastRoundSplitSync, StaircaseStructureAndVisibility) {
+  LastRoundSplitSync attack(Vote::kMinus, /*split=*/1);
+  ContextFixture f(5, 2, 2);
+  // Round 1, rank 0: the origin — empty refs, delayed past every correct
+  // node (visible only to the Byzantine confederates).
+  const auto origin = attack.on_round(1, NodeId{3}, f.ctx);
+  ASSERT_TRUE(origin.has_value());
+  EXPECT_TRUE(origin->refs.empty());
+  EXPECT_FALSE(origin->visible_to[0]);
+  EXPECT_FALSE(origin->visible_to[1]);
+  EXPECT_FALSE(origin->visible_to[2]);
+  EXPECT_TRUE(origin->visible_to[3]);
+  EXPECT_TRUE(origin->visible_to[4]);
+
+  // Simulate the runner having appended it, then rank 1's final-round step
+  // references it and is timely only for S = {correct node 0}.
+  SyncMsg m;
+  m.author = NodeId{3};
+  m.round = 1;
+  m.sees_now = origin->visible_to;
+  f.msgs.push_back(m);
+  const auto final_step = attack.on_round(2, NodeId{4}, f.ctx);
+  ASSERT_TRUE(final_step.has_value());
+  EXPECT_EQ(final_step->refs, (std::vector<u32>{0}));
+  EXPECT_TRUE(final_step->visible_to[0]);
+  EXPECT_FALSE(final_step->visible_to[1]);
+  EXPECT_FALSE(final_step->visible_to[2]);
+}
+
+}  // namespace
+}  // namespace amm::adv

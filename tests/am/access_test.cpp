@@ -1,0 +1,98 @@
+#include "am/access.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::am {
+namespace {
+
+struct Fixture {
+  Fixture() : authority(4, 1.0, 1.0, Rng(1)), memory(4, vault) {}
+
+  sched::TokenAuthority authority;
+  TokenVault vault;
+  GuardedMemory memory;
+};
+
+TEST(GuardedMemory, TokenHolderMayAppend) {
+  Fixture f;
+  const AppendToken token = f.vault.mint(f.authority);
+  const MsgId id = f.memory.append(token, Vote::kPlus, 7, {}, token.issued_at);
+  EXPECT_TRUE(f.memory.read().contains(id));
+  EXPECT_EQ(id.author, token.holder.index);
+}
+
+TEST(GuardedMemory, ReadsAreFree) {
+  Fixture f;
+  EXPECT_TRUE(f.memory.read().empty());
+  EXPECT_TRUE(f.memory.read_at(100.0).empty());
+}
+
+TEST(GuardedMemory, WithholdingIsLegal) {
+  // Spending a token much later than its issue time models Lemma 5.5's
+  // withheld private chain.
+  Fixture f;
+  const AppendToken token = f.vault.mint(f.authority);
+  const MsgId id = f.memory.append(token, Vote::kMinus, 0, {}, token.issued_at + 50.0);
+  EXPECT_TRUE(f.memory.read().contains(id));
+}
+
+TEST(GuardedMemoryDeathTest, DoubleSpendAborts) {
+  Fixture f;
+  const AppendToken token = f.vault.mint(f.authority);
+  f.memory.append(token, Vote::kPlus, 0, {}, token.issued_at);
+  EXPECT_DEATH(f.memory.append(token, Vote::kPlus, 0, {}, token.issued_at + 1.0),
+               "precondition");
+}
+
+TEST(GuardedMemoryDeathTest, ForgedTokenAborts) {
+  Fixture f;
+  AppendToken forged;
+  forged.serial = 999;
+  forged.holder = NodeId{0};
+  EXPECT_DEATH(f.memory.append(forged, Vote::kPlus, 0, {}, 1.0), "precondition");
+}
+
+TEST(GuardedMemoryDeathTest, TimeTravelAborts) {
+  Fixture f;
+  (void)f.vault.mint(f.authority);  // advance the clock
+  const AppendToken token = f.vault.mint(f.authority);
+  EXPECT_DEATH(f.memory.append(token, Vote::kPlus, 0, {}, token.issued_at / 2.0),
+               "precondition");
+}
+
+TEST(TokenVault, OutstandingTracksMintsAndSpends) {
+  Fixture f;
+  EXPECT_EQ(f.vault.outstanding(), 0u);
+  const AppendToken a = f.vault.mint(f.authority);
+  const AppendToken b = f.vault.mint(f.authority);
+  EXPECT_EQ(f.vault.outstanding(), 2u);
+  EXPECT_TRUE(f.vault.is_spendable(a));
+  f.vault.spend(a);
+  EXPECT_FALSE(f.vault.is_spendable(a));
+  EXPECT_TRUE(f.vault.is_spendable(b));
+  EXPECT_EQ(f.vault.outstanding(), 1u);
+}
+
+TEST(TokenVault, SerialsAreUnique) {
+  Fixture f;
+  const AppendToken a = f.vault.mint(f.authority);
+  const AppendToken b = f.vault.mint(f.authority);
+  EXPECT_NE(a.serial, b.serial);
+}
+
+TEST(GuardedMemory, FullProtocolLoopWorks) {
+  // A miniature Algorithm-4 loop through the guarded interface.
+  Fixture f;
+  for (int i = 0; i < 20; ++i) {
+    const AppendToken token = f.vault.mint(f.authority);
+    std::vector<MsgId> refs;
+    const MemoryView view = f.memory.read();
+    if (!view.empty()) refs.push_back(view.by_append_time().back());
+    f.memory.append(token, Vote::kPlus, 0, std::move(refs), token.issued_at);
+  }
+  EXPECT_EQ(f.memory.read().size(), 20u);
+  EXPECT_EQ(f.vault.outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace amm::am

@@ -1,0 +1,76 @@
+#include "am/register.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::am {
+namespace {
+
+TEST(Register, StartsEmpty) {
+  Register r(3);
+  EXPECT_EQ(r.owner(), 3u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.read().empty());
+}
+
+TEST(Register, AppendAssignsSequentialIds) {
+  Register r(1);
+  const MsgId a = r.append(Vote::kPlus, 0, {}, 1.0);
+  const MsgId b = r.append(Vote::kMinus, 0, {}, 2.0);
+  EXPECT_EQ(a, (MsgId{1, 0}));
+  EXPECT_EQ(b, (MsgId{1, 1}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Register, ReadReturnsCompleteLog) {
+  Register r(0);
+  r.append(Vote::kPlus, 10, {}, 0.5);
+  r.append(Vote::kMinus, 20, {}, 0.7);
+  const auto log = r.read();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].payload, 10u);
+  EXPECT_EQ(log[1].payload, 20u);
+  EXPECT_EQ(log[0].value, Vote::kPlus);
+  EXPECT_EQ(log[1].value, Vote::kMinus);
+}
+
+TEST(Register, AtRetrievesBySeq) {
+  Register r(0);
+  r.append(Vote::kPlus, 1, {}, 0.0);
+  r.append(Vote::kPlus, 2, {}, 0.0);
+  EXPECT_EQ(r.at(1).payload, 2u);
+}
+
+TEST(Register, RefsArePreserved) {
+  Register r(2);
+  r.append(Vote::kPlus, 0, {MsgId{0, 0}, MsgId{1, 5}}, 1.0);
+  ASSERT_EQ(r.at(0).refs.size(), 2u);
+  EXPECT_EQ(r.at(0).refs[1], (MsgId{1, 5}));
+}
+
+TEST(Register, SizeAtIsStrictlyBefore) {
+  Register r(0);
+  r.append(Vote::kPlus, 0, {}, 1.0);
+  r.append(Vote::kPlus, 0, {}, 2.0);
+  r.append(Vote::kPlus, 0, {}, 2.0);  // same instant
+  r.append(Vote::kPlus, 0, {}, 3.0);
+  EXPECT_EQ(r.size_at(0.5), 0u);
+  EXPECT_EQ(r.size_at(1.0), 0u);  // strictly before
+  EXPECT_EQ(r.size_at(1.5), 1u);
+  EXPECT_EQ(r.size_at(2.0), 1u);
+  EXPECT_EQ(r.size_at(2.5), 3u);
+  EXPECT_EQ(r.size_at(100.0), 4u);
+}
+
+TEST(RegisterDeathTest, TimeMustBeMonotone) {
+  Register r(0);
+  r.append(Vote::kPlus, 0, {}, 5.0);
+  EXPECT_DEATH(r.append(Vote::kPlus, 0, {}, 4.0), "precondition");
+}
+
+TEST(RegisterDeathTest, AtOutOfRange) {
+  Register r(0);
+  EXPECT_DEATH((void)r.at(0), "precondition");
+}
+
+}  // namespace
+}  // namespace amm::am

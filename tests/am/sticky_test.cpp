@@ -1,0 +1,83 @@
+// Sticky bits (§1.2 contrast class): write-once semantics and the
+// five-line consensus protocol that the append memory provably cannot
+// imitate (see the E1 checker) — the hierarchy gap the paper points at.
+#include "am/sticky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace amm::am {
+namespace {
+
+TEST(StickyBit, StartsUnset) {
+  StickyBit bit;
+  EXPECT_FALSE(bit.is_set());
+  EXPECT_FALSE(bit.read().has_value());
+}
+
+TEST(StickyBit, FirstWriteSticks) {
+  StickyBit bit;
+  EXPECT_EQ(bit.set(1), 1);
+  EXPECT_TRUE(bit.is_set());
+  EXPECT_EQ(bit.get(), 1);
+}
+
+TEST(StickyBit, LaterWritesLose) {
+  StickyBit bit;
+  bit.set(0);
+  EXPECT_EQ(bit.set(1), 0);  // returns the stuck value, not the attempt
+  EXPECT_EQ(bit.get(), 0);
+}
+
+TEST(StickyBitDeathTest, GetBeforeSet) {
+  StickyBit bit;
+  EXPECT_DEATH((void)bit.get(), "precondition");
+}
+
+TEST(StickyBitDeathTest, NonBitValueRejected) {
+  StickyBit bit;
+  EXPECT_DEATH((void)bit.set(2), "precondition");
+}
+
+TEST(StickyConsensus, AllProposersDecideTheWinner) {
+  StickyConsensus consensus;
+  EXPECT_EQ(consensus.propose(1), 1);
+  EXPECT_EQ(consensus.propose(0), 1);
+  EXPECT_EQ(consensus.propose(0), 1);
+  EXPECT_TRUE(consensus.decided());
+  EXPECT_EQ(consensus.decision(), 1);
+}
+
+TEST(StickyConsensus, ValidityOnUnanimousInputs) {
+  for (const u8 b : {u8{0}, u8{1}}) {
+    StickyConsensus consensus;
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(consensus.propose(b), b);
+  }
+}
+
+TEST(StickyConsensus, AgreementUnderEveryInterleaving) {
+  // Property sweep: random proposal orders with random inputs; every
+  // proposer must receive the same decision, equal to the first proposal.
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    StickyConsensus consensus;
+    const u8 first = rng.bernoulli(0.5) ? 1 : 0;
+    const u8 decision = consensus.propose(first);
+    EXPECT_EQ(decision, first);
+    for (int p = 0; p < 8; ++p) {
+      EXPECT_EQ(consensus.propose(rng.bernoulli(0.5) ? 1 : 0), decision);
+    }
+  }
+}
+
+TEST(StickyConsensus, CrashToleranceIsTrivial) {
+  // A proposer "crashing" (never proposing) cannot block the others —
+  // propose() is wait-free. Contrast: the E1 checker shows wait-for-all
+  // style protocols on append registers are not even 1-resilient.
+  StickyConsensus consensus;
+  EXPECT_EQ(consensus.propose(0), 0);  // one process alone decides
+}
+
+}  // namespace
+}  // namespace amm::am

@@ -1,0 +1,99 @@
+#include "am/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace amm::am {
+namespace {
+
+AppendMemory sample_memory() {
+  AppendMemory memory(3);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 7, {}, 1.0);
+  const MsgId b = memory.append(NodeId{1}, Vote::kMinus, 8, {a}, 2.0);
+  memory.append(NodeId{2}, Vote::kPlus, 9, {a, b}, 3.0);
+  return memory;
+}
+
+TEST(Trace, CaptureReplayRoundtrip) {
+  const AppendMemory original = sample_memory();
+  const Trace trace = capture(original);
+  EXPECT_EQ(trace.node_count, 3u);
+  EXPECT_EQ(trace.entries.size(), 3u);
+
+  const AppendMemory copy = replay(trace);
+  EXPECT_EQ(copy.total_appends(), original.total_appends());
+  const Trace again = capture(copy);
+  EXPECT_EQ(trace, again);
+}
+
+TEST(Trace, SerializationRoundtrip) {
+  const Trace trace = capture(sample_memory());
+  const std::string text = to_string(trace);
+  Trace parsed;
+  ASSERT_TRUE(from_string(text, &parsed));
+  EXPECT_EQ(parsed, trace);
+}
+
+TEST(Trace, TextFormatIsDocumentedShape) {
+  const std::string text = to_string(capture(sample_memory()));
+  EXPECT_NE(text.find("amm-trace 1 3"), std::string::npos);
+  EXPECT_NE(text.find("append 0 +1 7 1"), std::string::npos);
+  EXPECT_NE(text.find("0:0 1:0"), std::string::npos);  // the two refs of msg c
+}
+
+TEST(Trace, EmptyMemory) {
+  AppendMemory memory(2);
+  const Trace trace = capture(memory);
+  EXPECT_TRUE(trace.entries.empty());
+  Trace parsed;
+  ASSERT_TRUE(from_string(to_string(trace), &parsed));
+  EXPECT_EQ(parsed, trace);
+  EXPECT_EQ(replay(trace).total_appends(), 0u);
+}
+
+TEST(Trace, MalformedInputsRejected) {
+  Trace out;
+  EXPECT_FALSE(from_string("", &out));
+  EXPECT_FALSE(from_string("bogus 1 2\n", &out));
+  EXPECT_FALSE(from_string("amm-trace 2 3\n", &out));  // unknown version
+  EXPECT_FALSE(from_string("amm-trace 1 0\n", &out));  // zero nodes
+  EXPECT_FALSE(from_string("amm-trace 1 2\nappend 5 +1 0 1.0\n", &out));  // bad author
+  EXPECT_FALSE(from_string("amm-trace 1 2\nappend 0 ugh 0 1.0\n", &out));  // bad value
+  EXPECT_FALSE(from_string("amm-trace 1 2\nappend 0 +1 0 1.0 zz\n", &out));  // bad ref
+}
+
+TEST(Trace, ReplayOfRandomRunMatches) {
+  // Round-trip a larger random history through text and back.
+  AppendMemory memory(5);
+  Rng rng(11);
+  SimTime now = 0.0;
+  std::vector<MsgId> ids;
+  for (int i = 0; i < 200; ++i) {
+    now += rng.exponential(2.0);
+    std::vector<MsgId> refs;
+    if (!ids.empty() && rng.bernoulli(0.8)) refs.push_back(ids[rng.uniform_below(ids.size())]);
+    ids.push_back(memory.append(NodeId{static_cast<u32>(rng.uniform_below(5))},
+                                rng.bernoulli(0.5) ? Vote::kPlus : Vote::kMinus,
+                                static_cast<u64>(i), std::move(refs), now));
+  }
+  Trace parsed;
+  ASSERT_TRUE(from_string(to_string(capture(memory)), &parsed));
+  const AppendMemory copy = replay(parsed);
+  EXPECT_EQ(copy.total_appends(), 200u);
+  EXPECT_EQ(capture(copy), parsed);
+}
+
+TEST(TraceDeathTest, ReplayRejectsModelViolations) {
+  Trace trace;
+  trace.node_count = 2;
+  TraceEntry e;
+  e.author = 0;
+  e.time = 1.0;
+  e.refs.push_back(MsgId{1, 0});  // dangling reference
+  trace.entries.push_back(e);
+  EXPECT_DEATH((void)replay(trace), "precondition");
+}
+
+}  // namespace
+}  // namespace amm::am

@@ -1,0 +1,118 @@
+// Property tests for the view lattice (DESIGN.md invariant #2): random
+// append schedules, then algebraic laws over sampled views.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "am/memory.hpp"
+#include "support/rng.hpp"
+
+namespace amm::am {
+namespace {
+
+struct LatticeCase {
+  u32 nodes;
+  u32 appends;
+  u64 seed;
+};
+
+class ViewLattice : public ::testing::TestWithParam<LatticeCase> {
+ protected:
+  void SetUp() override {
+    const auto p = GetParam();
+    memory_ = std::make_unique<AppendMemory>(p.nodes);
+    Rng rng(p.seed);
+    SimTime now = 0.0;
+    for (u32 i = 0; i < p.appends; ++i) {
+      now += rng.exponential(1.0);
+      const auto author = NodeId{static_cast<u32>(rng.uniform_below(p.nodes))};
+      // Occasionally reference a random existing message (valid by
+      // construction: it exists at append time).
+      std::vector<MsgId> refs;
+      if (memory_->total_appends() > 0 && rng.bernoulli(0.7)) {
+        const auto view = memory_->read();
+        const auto ids = view.by_append_time();
+        refs.push_back(ids[rng.uniform_below(ids.size())]);
+      }
+      memory_->append(author, rng.bernoulli(0.5) ? Vote::kPlus : Vote::kMinus, i,
+                      std::move(refs), now);
+      sample_times_.push_back(now + rng.uniform());
+    }
+  }
+
+  std::unique_ptr<AppendMemory> memory_;
+  std::vector<SimTime> sample_times_;
+};
+
+TEST_P(ViewLattice, TimeViewsFormAChain) {
+  // Views taken at increasing times are totally ordered by prefix.
+  for (usize i = 0; i + 1 < sample_times_.size(); i += 3) {
+    const auto a = memory_->read_at(sample_times_[i]);
+    const auto b = memory_->read_at(sample_times_[i + 1]);
+    if (sample_times_[i] <= sample_times_[i + 1]) {
+      EXPECT_TRUE(a.subset_of(b));
+    } else {
+      EXPECT_TRUE(b.subset_of(a));
+    }
+  }
+}
+
+TEST_P(ViewLattice, JoinIsCommutativeAndAbsorbing) {
+  const auto a = memory_->read_at(sample_times_[sample_times_.size() / 3]);
+  const auto b = memory_->read_at(sample_times_[2 * sample_times_.size() / 3]);
+  EXPECT_TRUE(a.join(b) == b.join(a));
+  EXPECT_TRUE(a.meet(b) == b.meet(a));
+  // Absorption: a ⊔ (a ⊓ b) = a and a ⊓ (a ⊔ b) = a.
+  EXPECT_TRUE(a.join(a.meet(b)) == a);
+  EXPECT_TRUE(a.meet(a.join(b)) == a);
+}
+
+TEST_P(ViewLattice, JoinIsLeastUpperBound) {
+  const auto a = memory_->read_at(sample_times_.front());
+  const auto b = memory_->read_at(sample_times_.back());
+  const auto j = a.join(b);
+  EXPECT_TRUE(a.subset_of(j));
+  EXPECT_TRUE(b.subset_of(j));
+  const auto full = memory_->read();
+  EXPECT_TRUE(j.subset_of(full));
+}
+
+TEST_P(ViewLattice, RefsPointInsideAuthorView) {
+  // DESIGN.md invariant #3: every reference of every message was already in
+  // the memory when the message was appended.
+  const auto full = memory_->read();
+  full.for_each([&](const Message& msg) {
+    const auto before = memory_->read_at(msg.appended_at);
+    for (const MsgId ref : msg.refs) {
+      // The referenced message must have been appended strictly earlier or
+      // at the same instant with a smaller id.
+      EXPECT_TRUE(before.contains(ref) ||
+                  (memory_->msg(ref).appended_at == msg.appended_at));
+    }
+  });
+}
+
+TEST_P(ViewLattice, SizeEqualsSumOfRegisterLens) {
+  const auto view = memory_->read();
+  usize total = 0;
+  for (u32 r = 0; r < view.register_count(); ++r) total += view.register_len(r);
+  EXPECT_EQ(view.size(), total);
+  EXPECT_EQ(view.size(), memory_->total_appends());
+}
+
+TEST_P(ViewLattice, ByAppendTimeIsSortedAndComplete) {
+  const auto view = memory_->read();
+  const auto ordered = view.by_append_time();
+  EXPECT_EQ(ordered.size(), view.size());
+  for (usize i = 0; i + 1 < ordered.size(); ++i) {
+    EXPECT_LE(view.msg(ordered[i]).appended_at, view.msg(ordered[i + 1]).appended_at);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ViewLattice,
+    ::testing::Values(LatticeCase{2, 20, 1}, LatticeCase{3, 40, 2}, LatticeCase{5, 100, 3},
+                      LatticeCase{8, 200, 4}, LatticeCase{16, 100, 5}, LatticeCase{4, 300, 6}));
+
+}  // namespace
+}  // namespace amm::am

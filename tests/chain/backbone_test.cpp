@@ -1,0 +1,106 @@
+#include "chain/backbone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::chain {
+namespace {
+
+using am::AppendMemory;
+
+/// Chain: a(n0) <- b(n1) <- c(n2) <- d(n2), with a fork e(n0) off b.
+class BackboneFixture : public ::testing::Test {
+ protected:
+  BackboneFixture() : memory(3) {
+    a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+    b = memory.append(NodeId{1}, Vote::kPlus, 0, {a}, 2.0);
+    c = memory.append(NodeId{2}, Vote::kMinus, 0, {b}, 3.0);
+    d = memory.append(NodeId{2}, Vote::kMinus, 0, {c}, 4.0);
+    e = memory.append(NodeId{0}, Vote::kPlus, 0, {b}, 5.0);
+  }
+
+  static bool is_byz(NodeId id) { return id.index == 2; }
+
+  AppendMemory memory;
+  MsgId a, b, c, d, e;
+};
+
+TEST_F(BackboneFixture, ChainQualityFullChain) {
+  const BlockGraph g(memory.read());
+  // Canonical chain a,b,c,d: two of four blocks by node 2.
+  EXPECT_DOUBLE_EQ(chain_quality(g, d, 100, is_byz), 0.5);
+}
+
+TEST_F(BackboneFixture, ChainQualitySuffixOnly) {
+  const BlockGraph g(memory.read());
+  // Last two blocks are c,d — both byzantine-authored.
+  EXPECT_DOUBLE_EQ(chain_quality(g, d, 2, is_byz), 1.0);
+  // Last three: b,c,d -> 2/3.
+  EXPECT_NEAR(chain_quality(g, d, 3, is_byz), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(BackboneFixture, ChainQualityHonestChain) {
+  const BlockGraph g(memory.read());
+  EXPECT_DOUBLE_EQ(chain_quality(g, e, 100, is_byz), 0.0);  // a,b,e
+}
+
+TEST_F(BackboneFixture, ChainGrowth) {
+  const BlockGraph early(memory.read_at(2.5));  // depth 2
+  const BlockGraph late(memory.read());         // depth 4
+  EXPECT_DOUBLE_EQ(chain_growth(early, late, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(chain_growth(early, late, 4.0), 0.5);
+}
+
+TEST_F(BackboneFixture, CanonicalChainDeterministic) {
+  const BlockGraph g(memory.read());
+  const auto chain = canonical_chain(g);
+  EXPECT_EQ(chain, (std::vector<MsgId>{a, b, c, d}));
+}
+
+TEST_F(BackboneFixture, CommonPrefixIdenticalViewsAgree) {
+  const BlockGraph g1(memory.read());
+  const BlockGraph g2(memory.read());
+  EXPECT_EQ(common_prefix_divergence(g1, g2), 0u);
+}
+
+TEST_F(BackboneFixture, CommonPrefixStaleViewDiverges) {
+  const BlockGraph full(memory.read());     // canonical a,b,c,d
+  const BlockGraph stale(memory.read_at(3.5));  // canonical a,b,c
+  // Chains agree on a,b,c; full has one extra block.
+  EXPECT_EQ(common_prefix_divergence(full, stale), 1u);
+}
+
+TEST(Backbone, CommonPrefixDisjointBranches) {
+  AppendMemory memory(2);
+  const MsgId r = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  const MsgId x1 = memory.append(NodeId{0}, Vote::kPlus, 0, {r}, 2.0);
+  const MsgId x2 = memory.append(NodeId{0}, Vote::kPlus, 0, {x1}, 3.0);
+  const MsgId y1 = memory.append(NodeId{1}, Vote::kMinus, 0, {r}, 4.0);
+  const MsgId y2 = memory.append(NodeId{1}, Vote::kMinus, 0, {y1}, 5.0);
+  (void)x2;
+  (void)y2;
+  // View A: only node 0's branch; view B: only node 1's branch (+ r).
+  const am::MemoryView va(&memory, {3u, 0u});
+  const am::MemoryView vb(&memory, {1u, 2u});
+  const BlockGraph ga(va), gb(vb);
+  // Chains: (r,x1,x2) vs (r,y1,y2): agree on r only -> divergence 2.
+  EXPECT_EQ(common_prefix_divergence(ga, gb), 2u);
+}
+
+TEST(Backbone, EmptyGraphs) {
+  AppendMemory memory(2);
+  const BlockGraph g(memory.read());
+  EXPECT_TRUE(canonical_chain(g).empty());
+  EXPECT_EQ(common_prefix_divergence(g, g), 0u);
+}
+
+TEST(BackboneDeathTest, Preconditions) {
+  AppendMemory memory(2);
+  memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  const BlockGraph g(memory.read());
+  EXPECT_DEATH((void)chain_quality(g, MsgId{0, 0}, 0, [](NodeId) { return false; }),
+               "precondition");
+  EXPECT_DEATH((void)chain_growth(g, g, 0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace amm::chain

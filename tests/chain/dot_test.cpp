@@ -1,0 +1,69 @@
+#include "chain/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::chain {
+namespace {
+
+using am::AppendMemory;
+
+TEST(Dot, EmptyGraphStillValidDot) {
+  AppendMemory memory(2);
+  const BlockGraph g(memory.read());
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph append_memory {"), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(Dot, NodesAndEdgesPresent) {
+  AppendMemory memory(2);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  memory.append(NodeId{1}, Vote::kMinus, 0, {a}, 2.0);
+  const std::string dot = to_dot(BlockGraph(memory.read()));
+  EXPECT_NE(dot.find("b_0_0"), std::string::npos);
+  EXPECT_NE(dot.find("b_1_0"), std::string::npos);
+  EXPECT_NE(dot.find("b_0_0 -> root"), std::string::npos);
+  EXPECT_NE(dot.find("b_1_0 -> b_0_0"), std::string::npos);
+}
+
+TEST(Dot, ReferenceEdgesDashed) {
+  AppendMemory memory(3);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  const MsgId b = memory.append(NodeId{1}, Vote::kPlus, 0, {}, 2.0);
+  memory.append(NodeId{2}, Vote::kPlus, 0, {a, b}, 3.0);
+  const std::string dot = to_dot(BlockGraph(memory.read()));
+  EXPECT_NE(dot.find("b_2_0 -> b_1_0 [style=dashed]"), std::string::npos);
+  // The parent edge must NOT be dashed.
+  EXPECT_EQ(dot.find("b_2_0 -> b_0_0 [style=dashed]"), std::string::npos);
+}
+
+TEST(Dot, AdversarialBlocksFilled) {
+  AppendMemory memory(2);
+  memory.append(NodeId{1}, Vote::kMinus, 0, {}, 1.0);
+  DotOptions options;
+  options.is_adversarial = [](NodeId id) { return id.index == 1; };
+  const std::string dot = to_dot(BlockGraph(memory.read()), options);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, PivotHighlighted) {
+  AppendMemory memory(2);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  memory.append(NodeId{0}, Vote::kPlus, 0, {a}, 2.0);
+  const std::string dot = to_dot(BlockGraph(memory.read()));
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+}
+
+TEST(Dot, VoteLabelsToggle) {
+  AppendMemory memory(1);
+  memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  DotOptions no_votes;
+  no_votes.show_votes = false;
+  const std::string with_votes = to_dot(BlockGraph(memory.read()));
+  const std::string without = to_dot(BlockGraph(memory.read()), no_votes);
+  EXPECT_GT(with_votes.size(), without.size());
+}
+
+}  // namespace
+}  // namespace amm::chain

@@ -1,0 +1,132 @@
+// Property tests over randomly generated DAGs: linearization totality,
+// topological soundness, pivot consistency, GHOST weight correctness.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chain/rules.hpp"
+#include "support/rng.hpp"
+
+namespace amm::chain {
+namespace {
+
+using am::AppendMemory;
+
+struct DagCase {
+  u32 nodes;
+  u32 blocks;
+  double multi_ref_prob;
+  u64 seed;
+};
+
+class RandomDag : public ::testing::TestWithParam<DagCase> {
+ protected:
+  void SetUp() override {
+    const auto p = GetParam();
+    memory_ = std::make_unique<AppendMemory>(p.nodes);
+    Rng rng(p.seed);
+    std::vector<MsgId> all;
+    for (u32 i = 0; i < p.blocks; ++i) {
+      std::vector<MsgId> refs;
+      if (!all.empty()) {
+        refs.push_back(all[rng.uniform_below(all.size())]);
+        for (int attempt = 0; attempt < 6 && refs.size() < 4; ++attempt) {
+          if (!rng.bernoulli(p.multi_ref_prob)) break;
+          const MsgId extra = all[rng.uniform_below(all.size())];
+          if (std::find(refs.begin(), refs.end(), extra) == refs.end()) refs.push_back(extra);
+        }
+      }
+      all.push_back(memory_->append(NodeId{static_cast<u32>(rng.uniform_below(p.nodes))},
+                                    rng.bernoulli(0.5) ? Vote::kPlus : Vote::kMinus, i,
+                                    std::move(refs), static_cast<SimTime>(i)));
+    }
+  }
+
+  std::unique_ptr<AppendMemory> memory_;
+};
+
+TEST_P(RandomDag, LinearizationIsTotalPermutation) {
+  const BlockGraph g(memory_->read());
+  for (const PivotRule rule : {PivotRule::kLongestChain, PivotRule::kGhost}) {
+    const auto order = linearize_dag(g, rule);
+    EXPECT_EQ(order.size(), g.block_count());
+    std::unordered_set<MsgId> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), order.size());
+  }
+}
+
+TEST_P(RandomDag, LinearizationTopologicallySound) {
+  const BlockGraph g(memory_->read());
+  const auto order = linearize_dag(g, PivotRule::kGhost);
+  std::unordered_set<MsgId> seen;
+  for (const MsgId id : order) {
+    for (const MsgId ref : g.refs(id)) {
+      EXPECT_TRUE(seen.contains(ref)) << "reference emitted after referrer";
+    }
+    seen.insert(id);
+  }
+}
+
+TEST_P(RandomDag, PivotIsParentConnectedAndMaximal) {
+  const BlockGraph g(memory_->read());
+  for (const PivotRule rule : {PivotRule::kLongestChain, PivotRule::kGhost}) {
+    const auto pivot = select_pivot(g, rule);
+    if (g.block_count() == 0) {
+      EXPECT_TRUE(pivot.empty());
+      continue;
+    }
+    ASSERT_FALSE(pivot.empty());
+    EXPECT_EQ(g.parent(pivot.front()), kRootId);
+    for (usize i = 1; i < pivot.size(); ++i) {
+      EXPECT_EQ(g.parent(pivot[i]), pivot[i - 1]);
+    }
+    // The pivot ends at a block with no parent-edge children.
+    EXPECT_TRUE(g.children(pivot.back()).empty());
+  }
+}
+
+TEST_P(RandomDag, LongestChainPivotReachesMaxDepth) {
+  const BlockGraph g(memory_->read());
+  const auto pivot = select_pivot(g, PivotRule::kLongestChain);
+  EXPECT_EQ(pivot.size(), g.max_depth());
+}
+
+TEST_P(RandomDag, GhostWeightsEqualRecomputedSubtreeSizes) {
+  const BlockGraph g(memory_->read());
+  // Recompute subtree sizes naively through the children lists.
+  std::unordered_map<MsgId, u32> naive;
+  const auto& topo = g.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    u32 w = 1;
+    for (const MsgId c : g.children(*it)) w += naive.at(c);
+    naive[*it] = w;
+  }
+  for (const MsgId id : topo) {
+    EXPECT_EQ(g.subtree_weight(id), naive.at(id));
+  }
+}
+
+TEST_P(RandomDag, DepthIsParentDepthPlusOne) {
+  const BlockGraph g(memory_->read());
+  for (const MsgId id : g.topo_order()) {
+    const MsgId p = g.parent(id);
+    if (p == kRootId) {
+      EXPECT_EQ(g.depth(id), 1u);
+    } else {
+      EXPECT_EQ(g.depth(id), g.depth(p) + 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RandomDag,
+    ::testing::Values(DagCase{3, 30, 0.0, 1},    // pure chain-ish tree
+                      DagCase{4, 60, 0.5, 2},    // moderate DAG
+                      DagCase{8, 120, 0.8, 3},   // dense DAG
+                      DagCase{2, 10, 0.3, 4},    // tiny
+                      DagCase{6, 200, 0.6, 5},   // large
+                      DagCase{5, 80, 1.0, 6}));  // max fan-in
+
+}  // namespace
+}  // namespace amm::chain

@@ -1,0 +1,146 @@
+#include "chain/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace amm::chain {
+namespace {
+
+using am::AppendMemory;
+
+/// GHOST-vs-longest discriminating shape:
+///
+///   root -- a -- b1 -- {c1, c2, c3}   and   a -- b2 -- d -- e
+///
+/// The longest chain goes through b2 (depth 4 via e); GHOST prefers b1
+/// (subtree weight 4 vs 3).
+class GhostShapeFixture : public ::testing::Test {
+ protected:
+  GhostShapeFixture() : memory(6) {
+    a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+    b1 = memory.append(NodeId{1}, Vote::kPlus, 0, {a}, 2.0);
+    b2 = memory.append(NodeId{2}, Vote::kMinus, 0, {a}, 3.0);
+    c1 = memory.append(NodeId{3}, Vote::kPlus, 0, {b1}, 4.0);
+    c2 = memory.append(NodeId{4}, Vote::kPlus, 0, {b1}, 5.0);
+    c3 = memory.append(NodeId{5}, Vote::kPlus, 0, {b1}, 6.0);
+    d = memory.append(NodeId{2}, Vote::kMinus, 0, {b2}, 7.0);
+    e = memory.append(NodeId{2}, Vote::kMinus, 0, {d}, 8.0);
+  }
+
+  AppendMemory memory;
+  MsgId a, b1, b2, c1, c2, c3, d, e;
+};
+
+TEST_F(GhostShapeFixture, LongestChainPivotFollowsDepth) {
+  const BlockGraph g(memory.read());
+  const auto pivot = select_pivot(g, PivotRule::kLongestChain);
+  ASSERT_EQ(pivot.size(), 4u);
+  EXPECT_EQ(pivot[0], a);
+  EXPECT_EQ(pivot[1], b2);
+  EXPECT_EQ(pivot[2], d);
+  EXPECT_EQ(pivot[3], e);
+}
+
+TEST_F(GhostShapeFixture, GhostPivotFollowsWeight) {
+  const BlockGraph g(memory.read());
+  // weight(b1) = 4 (b1,c1,c2,c3) > weight(b2) = 3 (b2,d,e).
+  const auto pivot = select_pivot(g, PivotRule::kGhost);
+  ASSERT_EQ(pivot.size(), 3u);
+  EXPECT_EQ(pivot[0], a);
+  EXPECT_EQ(pivot[1], b1);
+  EXPECT_EQ(pivot[2], c1);  // ties among c1..c3 -> earliest
+}
+
+TEST_F(GhostShapeFixture, LinearizationIsTotalAndTopological) {
+  const BlockGraph g(memory.read());
+  for (const PivotRule rule : {PivotRule::kLongestChain, PivotRule::kGhost}) {
+    const auto order = linearize_dag(g, rule);
+    EXPECT_EQ(order.size(), g.block_count());
+    std::unordered_set<MsgId> seen;
+    for (const MsgId id : order) {
+      for (const MsgId ref : g.refs(id)) EXPECT_TRUE(seen.contains(ref));
+      seen.insert(id);
+    }
+  }
+}
+
+TEST_F(GhostShapeFixture, FirstKOfChain) {
+  const BlockGraph g(memory.read());
+  const auto k2 = first_k_of_chain(g, e, 2);
+  EXPECT_EQ(k2, (std::vector<MsgId>{a, b2}));
+  const auto k10 = first_k_of_chain(g, e, 10);
+  EXPECT_EQ(k10.size(), 4u);  // whole chain
+}
+
+TEST_F(GhostShapeFixture, VoteSum) {
+  const BlockGraph g(memory.read());
+  EXPECT_EQ(vote_sum(g, {a, b2, d, e}), 1 - 3);
+  EXPECT_EQ(vote_sum(g, {a, b1, c1}), 3);
+  EXPECT_EQ(vote_sum(g, {}), 0);
+}
+
+TEST(ChooseLongestTip, DeterministicPicksOldest) {
+  AppendMemory memory(3);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  const MsgId t1 = memory.append(NodeId{1}, Vote::kPlus, 0, {a}, 2.0);
+  const MsgId t2 = memory.append(NodeId{2}, Vote::kPlus, 0, {a}, 3.0);
+  (void)t2;
+  const BlockGraph g(memory.read());
+  Rng rng(1);
+  EXPECT_EQ(choose_longest_tip(g, TieBreak::kDeterministicFirst, rng), t1);
+}
+
+TEST(ChooseLongestTip, RandomizedCoversAllCandidates) {
+  AppendMemory memory(4);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  std::vector<MsgId> tips;
+  for (u32 i = 1; i < 4; ++i) {
+    tips.push_back(memory.append(NodeId{i}, Vote::kPlus, 0, {a}, 1.0 + i));
+  }
+  const BlockGraph g(memory.read());
+  Rng rng(2);
+  std::unordered_set<MsgId> chosen;
+  for (int i = 0; i < 200; ++i) {
+    chosen.insert(choose_longest_tip(g, TieBreak::kRandomized, rng));
+  }
+  EXPECT_EQ(chosen.size(), 3u);
+}
+
+TEST(SelectPivot, EmptyGraphGivesEmptyPivot) {
+  AppendMemory memory(2);
+  const BlockGraph g(memory.read());
+  EXPECT_TRUE(select_pivot(g, PivotRule::kGhost).empty());
+  EXPECT_TRUE(linearize_dag(g, PivotRule::kGhost).empty());
+}
+
+TEST(LinearizeDag, EpochCoversReferencedForks) {
+  // DAG: two root blocks a (node0), b (node1); c references both (parent a).
+  // Linearization along the pivot must emit b inside c's epoch, before c.
+  AppendMemory memory(3);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  const MsgId b = memory.append(NodeId{1}, Vote::kMinus, 0, {}, 2.0);
+  const MsgId c = memory.append(NodeId{2}, Vote::kPlus, 0, {a, b}, 3.0);
+  const BlockGraph g(memory.read());
+  const auto order = linearize_dag(g, PivotRule::kLongestChain);
+  ASSERT_EQ(order.size(), 3u);
+  // a and b precede c; the inclusive DAG loses no values.
+  EXPECT_EQ(order[2], c);
+  EXPECT_TRUE((order[0] == a && order[1] == b) || (order[0] == b && order[1] == a));
+}
+
+TEST(LinearizeDag, UnreachableBlocksAppendedLast) {
+  // A withheld side block nobody references still enters the total order.
+  AppendMemory memory(3);
+  const MsgId a = memory.append(NodeId{0}, Vote::kPlus, 0, {}, 1.0);
+  const MsgId lone = memory.append(NodeId{1}, Vote::kMinus, 0, {}, 2.0);
+  const MsgId c = memory.append(NodeId{2}, Vote::kPlus, 0, {a}, 3.0);
+  (void)c;
+  const BlockGraph g(memory.read());
+  const auto order = linearize_dag(g, PivotRule::kGhost);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), lone);
+}
+
+}  // namespace
+}  // namespace amm::chain

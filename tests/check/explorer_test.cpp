@@ -1,0 +1,96 @@
+#include "check/explorer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::check {
+namespace {
+
+TEST(Explorer, DecideOwnInputViolatesAgreement) {
+  const auto proto = make_decide_own_input();
+  const ExploreResult res = explore(*proto, 2);
+  EXPECT_TRUE(res.agreement_violation);
+  EXPECT_EQ(res.verdict(), "agreement violated");
+}
+
+TEST(Explorer, DecideOwnInputKeepsValidity) {
+  // Homogeneous inputs decide the common value — validity itself holds.
+  const auto proto = make_decide_own_input();
+  const ExploreResult res = explore(*proto, 2);
+  EXPECT_FALSE(res.validity_violation);
+}
+
+TEST(Explorer, MinAuthorRaceViolatesAgreement) {
+  // Two nodes can assemble different (n-1)-subsets and pick different
+  // minimal authors.
+  const auto proto = make_min_author_race(3);
+  const ExploreResult res = explore(*proto, 3);
+  EXPECT_TRUE(res.agreement_violation);
+}
+
+TEST(Explorer, WaitForAllIsNotOneResilient) {
+  // Safe, but a single crashed node blocks everyone forever.
+  const auto proto = make_wait_for_all(3);
+  const ExploreResult res = explore(*proto, 3);
+  EXPECT_FALSE(res.agreement_violation);
+  EXPECT_FALSE(res.validity_violation);
+  EXPECT_FALSE(res.one_resilient);
+  EXPECT_EQ(res.verdict(), "not 1-resilient (v-free run never decides)");
+}
+
+TEST(Explorer, MajorityRaceHasBivalentInitialConfiguration) {
+  // Lemma 2.2 made concrete.
+  const auto proto = make_majority_race(3);
+  const ExploreResult res = explore(*proto, 3);
+  ASSERT_TRUE(res.bivalent_initial.has_value()) << res.verdict();
+  // A mixed input vector must be the witness.
+  const auto& inputs = *res.bivalent_initial;
+  bool mixed = false;
+  for (const u8 b : inputs) mixed |= (b != inputs[0]);
+  EXPECT_TRUE(mixed);
+}
+
+TEST(Explorer, MajorityRaceFailsTheorem21SomeWay) {
+  // Theorem 2.1: every protocol fails at least one requirement. For the
+  // majority race the explorer must find an agreement violation, a
+  // resilience violation, or an eternal-bivalence witness.
+  const auto proto = make_majority_race(3);
+  const ExploreResult res = explore(*proto, 3);
+  const bool fails = res.agreement_violation || res.validity_violation || !res.one_resilient ||
+                     (res.bivalent_initial.has_value() && res.lemma23_holds);
+  EXPECT_TRUE(fails) << res.verdict();
+}
+
+TEST(Explorer, EveryCandidateFailsTheorem21) {
+  // The full sweep used by exp_e1: no candidate survives all requirements.
+  std::vector<std::unique_ptr<AsyncProtocol>> protos;
+  protos.push_back(make_decide_own_input());
+  protos.push_back(make_min_author_race(3));
+  protos.push_back(make_wait_for_all(3));
+  protos.push_back(make_majority_race(3));
+  for (const auto& p : protos) {
+    const ExploreResult res = explore(*p, 3);
+    const bool fails = res.agreement_violation || res.validity_violation || !res.one_resilient ||
+                       (res.bivalent_initial.has_value() && res.lemma23_holds);
+    EXPECT_TRUE(fails) << p->name() << ": " << res.verdict();
+  }
+}
+
+TEST(Explorer, ExplorationIsFiniteAndCounted) {
+  const auto proto = make_wait_for_all(2);
+  const ExploreResult res = explore(*proto, 2);
+  EXPECT_GT(res.configs_explored, 0u);
+  EXPECT_FALSE(res.budget_exhausted);
+  EXPECT_FALSE(res.append_bound_exceeded);
+}
+
+TEST(Explorer, BudgetExhaustionIsReported) {
+  ExploreLimits limits;
+  limits.max_configs = 3;
+  const auto proto = make_majority_race(3);
+  const ExploreResult res = explore(*proto, 3, limits);
+  EXPECT_TRUE(res.budget_exhausted);
+  EXPECT_EQ(res.verdict(), "budget exhausted");
+}
+
+}  // namespace
+}  // namespace amm::check

@@ -1,0 +1,45 @@
+#include "check/round_lb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::check {
+namespace {
+
+TEST(RoundLb, OneByzantineOneRoundBreaks) {
+  // n=3, t=1: a single round is not enough — some strategy splits the
+  // correct nodes (Lemma 3.1 for t=1).
+  const RoundLbResult res = search_round_lb(3, 1, 1);
+  EXPECT_TRUE(res.disagreement);
+  EXPECT_FALSE(res.search_truncated);
+}
+
+TEST(RoundLb, OneByzantineTwoRoundsSafe) {
+  // t+1 = 2 rounds: the exhaustive search finds no splitting strategy
+  // (Theorem 3.2 tightness, complete search space).
+  const RoundLbResult res = search_round_lb(3, 1, 2);
+  EXPECT_FALSE(res.disagreement);
+  EXPECT_FALSE(res.search_truncated);
+  EXPECT_GT(res.executions, 100u);
+}
+
+TEST(RoundLb, FourNodesOneByzantine) {
+  EXPECT_TRUE(search_round_lb(4, 1, 1).disagreement);
+  EXPECT_FALSE(search_round_lb(4, 1, 2).disagreement);
+}
+
+TEST(RoundLb, TwoByzantineUpToTwoRoundsBreak) {
+  // n=4, t=2: both r=1 and r=2 admit splitting strategies.
+  EXPECT_TRUE(search_round_lb(4, 2, 1).disagreement);
+  EXPECT_TRUE(search_round_lb(4, 2, 2).disagreement);
+}
+
+TEST(RoundLb, ExecutionCountsGrowWithRounds) {
+  const RoundLbResult r1 = search_round_lb(3, 1, 2);
+  // r1 was a full sweep (no disagreement). A single-round search stops at
+  // the first witness, so executions there are smaller.
+  const RoundLbResult r0 = search_round_lb(3, 1, 1);
+  EXPECT_LT(r0.executions, r1.executions);
+}
+
+}  // namespace
+}  // namespace amm::check

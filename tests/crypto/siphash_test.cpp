@@ -1,0 +1,85 @@
+#include "crypto/siphash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace amm::crypto {
+namespace {
+
+std::vector<std::byte> bytes(const std::string& s) {
+  std::vector<std::byte> b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+/// The reference test key from the SipHash paper: k = 000102...0f.
+constexpr SipKey kRefKey{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+
+TEST(SipHash, ReferenceVectorEmptyInput) {
+  // First entry of the official SipHash-2-4 64-bit test vector table.
+  EXPECT_EQ(siphash24(kRefKey, std::span<const std::byte>{}), 0x726fdb47dd0e0e31ULL);
+}
+
+TEST(SipHash, ReferenceVectorOneByte) {
+  // Second entry: input 0x00.
+  const std::byte in[] = {std::byte{0x00}};
+  EXPECT_EQ(siphash24(kRefKey, std::span<const std::byte>(in, 1)), 0x74f839c593dc67fdULL);
+}
+
+TEST(SipHash, ReferenceVectorEightBytes) {
+  // Ninth entry: input 00 01 02 ... 07 (one full compression block).
+  std::byte in[8];
+  for (int i = 0; i < 8; ++i) in[i] = static_cast<std::byte>(i);
+  EXPECT_EQ(siphash24(kRefKey, std::span<const std::byte>(in, 8)), 0x93f5f5799a932462ULL);
+}
+
+TEST(SipHash, Deterministic) {
+  const auto data = bytes("append memory");
+  EXPECT_EQ(siphash24(kRefKey, data), siphash24(kRefKey, data));
+}
+
+TEST(SipHash, KeySensitivity) {
+  const auto data = bytes("same message");
+  const SipKey other{kRefKey.k0 ^ 1, kRefKey.k1};
+  EXPECT_NE(siphash24(kRefKey, data), siphash24(other, data));
+}
+
+TEST(SipHash, MessageSensitivity) {
+  EXPECT_NE(siphash24(kRefKey, bytes("msg-a")), siphash24(kRefKey, bytes("msg-b")));
+}
+
+TEST(SipHash, LengthMattersEvenWithZeroPadding) {
+  // "x" vs "x\0": trailing zero bytes must change the hash (length is mixed
+  // into the final block).
+  const auto a = bytes(std::string("x"));
+  const auto b = bytes(std::string("x\0", 2));
+  EXPECT_NE(siphash24(kRefKey, a), siphash24(kRefKey, b));
+}
+
+TEST(SipHash, WordOverloadMatchesByteEncoding) {
+  const u64 words[] = {0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  std::byte raw[16];
+  std::memcpy(raw, words, 16);
+  EXPECT_EQ(siphash24(kRefKey, std::span<const u64>(words, 2)),
+            siphash24(kRefKey, std::span<const std::byte>(raw, 16)));
+}
+
+TEST(SipHash, AllInputLengthsUpTo32AreDistinct) {
+  // Smoke avalanche check: prefixes of a fixed buffer hash to 33 distinct
+  // values.
+  std::vector<std::byte> buf(32);
+  for (usize i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::byte>(i * 7 + 1);
+  std::vector<u64> hashes;
+  for (usize len = 0; len <= 32; ++len) {
+    hashes.push_back(siphash24(kRefKey, std::span(buf.data(), len)));
+  }
+  for (usize i = 0; i < hashes.size(); ++i) {
+    for (usize j = i + 1; j < hashes.size(); ++j) EXPECT_NE(hashes[i], hashes[j]);
+  }
+}
+
+}  // namespace
+}  // namespace amm::crypto

@@ -1,0 +1,73 @@
+// The Monte-Carlo harness must be reproducible regardless of thread count
+// and scheduling — the property everything in EXPERIMENTS.md rests on.
+#include "exp/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::exp {
+namespace {
+
+TEST(EstimateRate, CountsExactly) {
+  ThreadPool pool(2);
+  const auto est = estimate_rate(pool, 1, 1000, [](usize i, Rng&) { return i % 4 == 0; });
+  EXPECT_EQ(est.trials(), 1000u);
+  EXPECT_EQ(est.successes(), 250u);
+}
+
+TEST(EstimateRate, SeedReproducibleAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    return estimate_rate(pool, 42, 2000, [](usize, Rng& rng) { return rng.bernoulli(0.3); });
+  };
+  const auto a = run(1);
+  const auto b = run(4);
+  EXPECT_EQ(a.successes(), b.successes());
+  EXPECT_EQ(a.trials(), b.trials());
+}
+
+TEST(EstimateRate, DifferentSeedsDiffer) {
+  ThreadPool pool(2);
+  const auto a =
+      estimate_rate(pool, 1, 2000, [](usize, Rng& rng) { return rng.bernoulli(0.5); });
+  const auto b =
+      estimate_rate(pool, 2, 2000, [](usize, Rng& rng) { return rng.bernoulli(0.5); });
+  EXPECT_NE(a.successes(), b.successes());
+}
+
+TEST(EstimateRate, RateConvergesToTruth) {
+  ThreadPool pool(4);
+  const auto est =
+      estimate_rate(pool, 3, 20'000, [](usize, Rng& rng) { return rng.bernoulli(0.7); });
+  EXPECT_NEAR(est.rate(), 0.7, 0.02);
+  const auto [lo, hi] = est.wilson95();
+  EXPECT_LT(lo, 0.7);
+  EXPECT_GT(hi, 0.7);
+}
+
+TEST(CollectStats, MeanMatchesSequential) {
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    return collect_stats(pool, 9, 5000, [](usize, Rng& rng) { return rng.normal() * 2.0 + 1.0; });
+  };
+  const auto a = run(1);
+  const auto b = run(3);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
+}
+
+TEST(CollectStats, ZeroTrials) {
+  ThreadPool pool(2);
+  const auto stats = collect_stats(pool, 1, 0, [](usize, Rng&) { return 1.0; });
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(CollectStats, SingleTrial) {
+  ThreadPool pool(2);
+  const auto stats = collect_stats(pool, 1, 1, [](usize, Rng&) { return 5.0; });
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace amm::exp

@@ -1,0 +1,87 @@
+// The paper's headline claim, as an integration test: with the same node
+// count, the same Byzantine share, the same access rate and the same
+// adversarial budget, the chain's validity collapses where the DAG's
+// survives — "Why BlockDAGs Excel Blockchains".
+#include <gtest/gtest.h>
+
+#include "protocols/chain_ba.hpp"
+#include "protocols/dag_ba.hpp"
+
+namespace amm {
+namespace {
+
+struct HeadlineCase {
+  u32 n;
+  u32 t;
+  double lambda;
+};
+
+class ChainVsDag : public ::testing::TestWithParam<HeadlineCase> {};
+
+TEST_P(ChainVsDag, DagOutlivesChain) {
+  const auto [n, t, lambda] = GetParam();
+  const u32 k = 41;
+  const int reps = 25;
+
+  proto::ChainParams chain_params;
+  chain_params.scenario.n = n;
+  chain_params.scenario.t = t;
+  chain_params.k = k;
+  chain_params.lambda = lambda;
+  chain_params.adversary = proto::ChainAdversary::kRushExtend;
+
+  proto::DagParams dag_params;
+  dag_params.scenario.n = n;
+  dag_params.scenario.t = t;
+  dag_params.k = k;
+  dag_params.lambda = lambda;
+  dag_params.adversary = proto::DagAdversary::kRateAndWithhold;
+
+  int chain_valid = 0, dag_valid = 0;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    if (proto::run_chain_slotted(chain_params, Rng(seed)).validity(chain_params.scenario)) {
+      ++chain_valid;
+    }
+    if (proto::run_dag_continuous(dag_params, Rng(seed)).outcome.validity(dag_params.scenario)) {
+      ++dag_valid;
+    }
+  }
+  // λ·t > 1 in every parameterized case: past the chain's threshold but
+  // far below the DAG's n/2 bound.
+  EXPECT_LE(chain_valid, reps / 3);
+  EXPECT_GE(dag_valid, 2 * reps / 3);
+  EXPECT_GT(dag_valid, chain_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Headline, ChainVsDag,
+                         ::testing::Values(HeadlineCase{10, 3, 1.0}, HeadlineCase{16, 4, 0.75},
+                                           HeadlineCase{20, 5, 0.5},
+                                           HeadlineCase{12, 4, 1.0}));
+
+TEST(ChainVsDag, BothFineWhenByzantineShareTiny) {
+  // Sanity: below both thresholds neither structure fails.
+  const u32 n = 16, t = 1, k = 41;
+  proto::ChainParams cp;
+  cp.scenario.n = n;
+  cp.scenario.t = t;
+  cp.k = k;
+  cp.lambda = 0.05;  // λ·t = 0.05 << 1
+  cp.adversary = proto::ChainAdversary::kRushExtend;
+
+  proto::DagParams dp;
+  dp.scenario.n = n;
+  dp.scenario.t = t;
+  dp.k = k;
+  dp.lambda = 0.05;
+
+  int chain_valid = 0, dag_valid = 0;
+  for (u64 seed = 0; seed < 20; ++seed) {
+    chain_valid += proto::run_chain_slotted(cp, Rng(seed)).validity(cp.scenario);
+    dag_valid += proto::run_dag_continuous(dp, Rng(seed)).outcome.validity(dp.scenario);
+  }
+  EXPECT_GE(chain_valid, 18);
+  EXPECT_GE(dag_valid, 18);
+}
+
+}  // namespace
+}  // namespace amm

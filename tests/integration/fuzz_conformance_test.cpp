@@ -1,0 +1,140 @@
+// Randomized model-conformance fuzzing: large random executions across the
+// whole stack, re-checking every DESIGN.md invariant on states no
+// hand-written case would produce.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "am/memory.hpp"
+#include "am/trace.hpp"
+#include "chain/backbone.hpp"
+#include "chain/rules.hpp"
+#include "protocols/chain_ba.hpp"
+#include "protocols/dag_ba.hpp"
+#include "support/rng.hpp"
+
+namespace amm {
+namespace {
+
+struct FuzzCase {
+  u64 seed;
+  u32 nodes;
+  u32 appends;
+};
+
+class MemoryFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(MemoryFuzz, WholeStackInvariants) {
+  const auto p = GetParam();
+  Rng rng(p.seed);
+  am::AppendMemory memory(p.nodes);
+
+  // Random legal history with bursts of identical timestamps, deep ref
+  // fans and occasional no-ref roots.
+  SimTime now = 0.0;
+  std::vector<am::MsgId> all;
+  for (u32 i = 0; i < p.appends; ++i) {
+    if (!rng.bernoulli(0.3)) now += rng.exponential(1.0);  // 30% same-instant bursts
+    std::vector<am::MsgId> refs;
+    const usize want = all.empty() ? 0 : rng.uniform_below(4);
+    for (usize r = 0; r < want; ++r) {
+      const am::MsgId pick = all[rng.uniform_below(all.size())];
+      if (std::find(refs.begin(), refs.end(), pick) == refs.end()) refs.push_back(pick);
+    }
+    all.push_back(memory.append(NodeId{static_cast<u32>(rng.uniform_below(p.nodes))},
+                                rng.bernoulli(0.5) ? Vote::kPlus : Vote::kMinus, i,
+                                std::move(refs), now));
+  }
+
+  // Invariant 1: registers append-only, sizes sum up.
+  const am::MemoryView full = memory.read();
+  EXPECT_EQ(full.size(), p.appends);
+
+  // Invariant 2: views at sampled times form a chain in the prefix order.
+  am::MemoryView prev = memory.read_at(0.0);
+  for (double t = 0.0; t <= now + 1.0; t += (now + 1.0) / 7.0) {
+    const am::MemoryView v = memory.read_at(t);
+    EXPECT_TRUE(prev.subset_of(v));
+    prev = v;
+  }
+
+  // Invariants 4–5: graph analytics well-formed on the full view.
+  const chain::BlockGraph graph(full);
+  EXPECT_EQ(graph.block_count(), p.appends);
+  const auto order = chain::linearize_dag(graph, chain::PivotRule::kGhost);
+  EXPECT_EQ(order.size(), p.appends);
+  std::unordered_set<am::MsgId> seen;
+  for (const am::MsgId id : order) {
+    for (const am::MsgId ref : graph.refs(id)) EXPECT_TRUE(seen.contains(ref));
+    seen.insert(id);
+  }
+  const auto pivot = chain::select_pivot(graph, chain::PivotRule::kLongestChain);
+  EXPECT_EQ(pivot.size(), graph.max_depth());
+
+  // Trace roundtrip survives arbitrary histories (same-time bursts use the
+  // deterministic id tiebreak, under which same-author refs stay ordered).
+  const am::Trace trace = am::capture(memory);
+  EXPECT_EQ(trace.entries.size(), p.appends);
+  am::Trace parsed;
+  ASSERT_TRUE(am::from_string(am::to_string(trace), &parsed));
+  EXPECT_EQ(parsed, trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHistories, MemoryFuzz,
+                         ::testing::Values(FuzzCase{101, 3, 500}, FuzzCase{102, 8, 1000},
+                                           FuzzCase{103, 16, 2000}, FuzzCase{104, 2, 300},
+                                           FuzzCase{105, 32, 1500}));
+
+class ProtocolFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ProtocolFuzz, ChainOutcomesAlwaysSane) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    proto::ChainParams params;
+    params.scenario.n = 2 + static_cast<u32>(rng.uniform_below(20));
+    params.scenario.t = static_cast<u32>(rng.uniform_below(params.scenario.n));
+    params.k = 2 * static_cast<u32>(rng.uniform_below(20)) + 1;
+    params.lambda = 0.05 + rng.uniform() * 2.0;
+    params.tie_break =
+        rng.bernoulli(0.5) ? chain::TieBreak::kRandomized : chain::TieBreak::kDeterministicFirst;
+    params.adversarial_ties = rng.bernoulli(0.3);
+    params.adversary = static_cast<proto::ChainAdversary>(rng.uniform_below(3));
+    params.max_slots = 200'000;
+
+    const proto::Outcome out = rng.bernoulli(0.5) ? proto::run_chain_slotted(params, Rng(rng.next()))
+                                                  : proto::run_chain_continuous(params, Rng(rng.next()));
+    if (!out.terminated) continue;  // budget can legitimately expire
+    EXPECT_EQ(out.decisions.size(), params.scenario.correct_count());
+    EXPECT_LE(out.byz_in_decision_set, out.decision_set_size);
+    EXPECT_LE(out.decision_set_size, params.k);
+    EXPECT_GE(out.total_appends, static_cast<u64>(out.decision_set_size));
+  }
+}
+
+TEST_P(ProtocolFuzz, DagOutcomesAlwaysSane) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 20; ++trial) {
+    proto::DagParams params;
+    params.scenario.n = 2 + static_cast<u32>(rng.uniform_below(16));
+    params.scenario.t = static_cast<u32>(rng.uniform_below(params.scenario.n));
+    params.k = 2 * static_cast<u32>(rng.uniform_below(30)) + 1;
+    params.lambda = 0.05 + rng.uniform() * 2.0;
+    params.adversary = static_cast<proto::DagAdversary>(rng.uniform_below(3));
+    params.full_ordering = rng.bernoulli(0.3);
+
+    const proto::DagResult res = proto::run_dag_continuous(params, Rng(rng.next()));
+    ASSERT_TRUE(res.outcome.terminated);
+    EXPECT_LE(res.outcome.byz_in_decision_set, res.outcome.decision_set_size);
+    EXPECT_LE(res.dumped, static_cast<u64>(params.k));
+    EXPECT_LE(res.outcome.decision_set_size, params.k);
+    if (params.scenario.t == 0) {
+      EXPECT_EQ(res.outcome.byz_in_decision_set, 0u);
+      EXPECT_TRUE(res.outcome.validity(params.scenario));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace amm

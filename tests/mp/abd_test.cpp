@@ -1,0 +1,172 @@
+#include "mp/abd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace amm::mp {
+namespace {
+
+struct Cluster {
+  Cluster(u32 n, u32 crashed = 0, u64 seed = 1)
+      : keys(n, seed), net(n, 0.05, 0.5, Rng(seed + 1)) {
+    for (u32 i = 0; i < n - crashed; ++i) {
+      nodes.push_back(std::make_unique<AbdNode>(NodeId{i}, net, keys));
+    }
+    for (u32 i = n - crashed; i < n; ++i) {
+      dead.push_back(std::make_unique<CrashedNode>(NodeId{i}, net));
+    }
+  }
+
+  crypto::KeyRegistry keys;
+  Network net;
+  std::vector<std::unique_ptr<AbdNode>> nodes;
+  std::vector<std::unique_ptr<CrashedNode>> dead;
+};
+
+TEST(Abd, AppendCompletesWithAllCorrect) {
+  Cluster c(5);
+  bool done = false;
+  c.nodes[0]->begin_append(42, [&] { done = true; });
+  c.net.queue().run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Abd, AppendVisibleInEveryLocalViewEventually) {
+  Cluster c(4);
+  c.nodes[1]->begin_append(7, [] {});
+  c.net.queue().run();
+  for (const auto& node : c.nodes) {
+    ASSERT_EQ(node->local_view().size(), 1u);
+    EXPECT_EQ(node->local_view()[0].value, 7);
+    EXPECT_EQ(node->local_view()[0].author, NodeId{1});
+  }
+}
+
+TEST(Abd, ReadMergesMajorityViews) {
+  Cluster c(5);
+  bool append_done = false;
+  c.nodes[0]->begin_append(10, [&] { append_done = true; });
+  c.net.queue().run();
+  ASSERT_TRUE(append_done);
+
+  std::vector<SignedAppend> result;
+  c.nodes[4]->begin_read([&](const std::vector<SignedAppend>& view) { result = view; });
+  c.net.queue().run();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].value, 10);
+}
+
+TEST(Abd, RegularityCompletedAppendVisibleToLaterRead) {
+  // Lemma 4.2: an append acked by a majority intersects every read quorum.
+  for (u64 seed = 1; seed < 15; ++seed) {
+    Cluster c(5, /*crashed=*/2, seed);
+    bool append_done = false;
+    c.nodes[0]->begin_append(99, [&] { append_done = true; });
+    c.net.queue().run();
+    ASSERT_TRUE(append_done) << "append must terminate with 3/5 correct";
+
+    bool found = false;
+    c.nodes[2]->begin_read([&](const std::vector<SignedAppend>& view) {
+      for (const auto& rec : view) found |= (rec.value == 99);
+    });
+    c.net.queue().run();
+    EXPECT_TRUE(found) << "seed=" << seed;
+  }
+}
+
+TEST(Abd, MinorityCrashStillLive) {
+  Cluster c(7, /*crashed=*/3);
+  bool append_done = false, read_done = false;
+  c.nodes[0]->begin_append(1, [&] { append_done = true; });
+  c.net.queue().run();
+  c.nodes[1]->begin_read([&](const std::vector<SignedAppend>&) { read_done = true; });
+  c.net.queue().run();
+  EXPECT_TRUE(append_done);
+  EXPECT_TRUE(read_done);
+}
+
+TEST(Abd, MajorityCrashBlocksTermination) {
+  Cluster c(5, /*crashed=*/3);
+  bool done = false;
+  c.nodes[0]->begin_append(1, [&] { done = true; });
+  c.net.queue().run();
+  EXPECT_FALSE(done);  // only 2 acks possible, quorum is 3
+}
+
+TEST(Abd, SequentialAppendsGetIncreasingSeq) {
+  Cluster c(3);
+  bool first = false;
+  c.nodes[0]->begin_append(1, [&] { first = true; });
+  c.net.queue().run();
+  ASSERT_TRUE(first);
+  c.nodes[0]->begin_append(2, [] {});
+  c.net.queue().run();
+  EXPECT_EQ(c.nodes[0]->appends_issued(), 2u);
+  // Both records present everywhere, with distinct seq.
+  for (const auto& node : c.nodes) {
+    ASSERT_EQ(node->local_view().size(), 2u);
+    EXPECT_NE(node->local_view()[0].seq, node->local_view()[1].seq);
+  }
+}
+
+TEST(Abd, ForgedRecordsRejected) {
+  // 4 correct + 1 forger targeting node 0: no correct view may ever
+  // contain a record attributed to node 0 that node 0 did not append.
+  crypto::KeyRegistry keys(5, 7);
+  Network net(5, 0.05, 0.5, Rng(8));
+  std::vector<std::unique_ptr<AbdNode>> nodes;
+  for (u32 i = 0; i < 4; ++i) nodes.push_back(std::make_unique<AbdNode>(NodeId{i}, net, keys));
+  ForgerNode forger(NodeId{4}, /*victim=*/NodeId{0}, net, keys);
+
+  bool done = false;
+  nodes[1]->begin_append(5, [&] { done = true; });
+  net.queue().run();
+  ASSERT_TRUE(done);
+
+  nodes[2]->begin_read([](const std::vector<SignedAppend>&) {});
+  net.queue().run();
+
+  for (const auto& node : nodes) {
+    for (const auto& rec : node->local_view()) {
+      if (rec.author == NodeId{0}) {
+        FAIL() << "forged record for node 0 admitted into a correct view";
+      }
+    }
+  }
+}
+
+TEST(Abd, MessageComplexityPerAppendIsTwoN) {
+  // Algorithm 2: n broadcast messages + n acks (self-delivery included).
+  Cluster c(6);
+  const u64 before = c.net.messages_sent();
+  c.nodes[0]->begin_append(1, [] {});
+  c.net.queue().run();
+  EXPECT_EQ(c.net.messages_sent() - before, 12u);
+}
+
+TEST(Abd, ReadReplySizeGrowsWithHistory) {
+  // §4's observation: local views grow with every append, so read replies
+  // carry ever more bytes — the cost the append memory abstracts away.
+  Cluster c(3);
+  u64 bytes_first, bytes_second;
+  c.nodes[0]->begin_append(1, [] {});
+  c.net.queue().run();
+  u64 before = c.net.bytes_sent();
+  c.nodes[1]->begin_read([](const std::vector<SignedAppend>&) {});
+  c.net.queue().run();
+  bytes_first = c.net.bytes_sent() - before;
+
+  for (int i = 0; i < 5; ++i) {
+    c.nodes[0]->begin_append(i, [] {});
+    c.net.queue().run();
+  }
+  before = c.net.bytes_sent();
+  c.nodes[1]->begin_read([](const std::vector<SignedAppend>&) {});
+  c.net.queue().run();
+  bytes_second = c.net.bytes_sent() - before;
+  EXPECT_GT(bytes_second, bytes_first);
+}
+
+}  // namespace
+}  // namespace amm::mp

@@ -1,0 +1,100 @@
+#include "mp/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::mp {
+namespace {
+
+TEST(Network, DeliversPointToPoint) {
+  Network net(2, 0.1, 0.5, Rng(1));
+  int received = 0;
+  NodeId from_seen{99};
+  net.attach(NodeId{1}, [&](NodeId from, const WireMessage& msg) {
+    ++received;
+    from_seen = from;
+    EXPECT_EQ(msg.kind, WireMessage::Kind::kReadReq);
+  });
+  WireMessage msg;
+  msg.kind = WireMessage::Kind::kReadReq;
+  msg.read_id = 7;
+  net.send(NodeId{0}, NodeId{1}, msg);
+  net.queue().run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(from_seen, NodeId{0});
+}
+
+TEST(Network, DelaysWithinBounds) {
+  Network net(2, 0.2, 0.8, Rng(2));
+  net.attach(NodeId{1}, [&](NodeId, const WireMessage&) {
+    EXPECT_GE(net.queue().now(), 0.2);
+    EXPECT_LE(net.queue().now(), 0.8);
+  });
+  WireMessage msg;
+  for (int i = 0; i < 100; ++i) {
+    Network fresh(2, 0.2, 0.8, Rng(static_cast<u64>(i)));
+    bool delivered = false;
+    fresh.attach(NodeId{1}, [&](NodeId, const WireMessage&) {
+      delivered = true;
+      EXPECT_GE(fresh.queue().now(), 0.2);
+      EXPECT_LE(fresh.queue().now(), 0.8);
+    });
+    fresh.send(NodeId{0}, NodeId{1}, msg);
+    fresh.queue().run();
+    EXPECT_TRUE(delivered);
+  }
+}
+
+TEST(Network, BroadcastReachesEveryoneIncludingSelf) {
+  Network net(4, 0.0, 0.1, Rng(3));
+  std::vector<int> received(4, 0);
+  for (u32 i = 0; i < 4; ++i) {
+    net.attach(NodeId{i}, [&received, i](NodeId, const WireMessage&) { ++received[i]; });
+  }
+  WireMessage msg;
+  net.broadcast(NodeId{2}, msg);
+  net.queue().run();
+  for (const int r : received) EXPECT_EQ(r, 1);
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  Network net(3, 0.0, 0.1, Rng(4));
+  for (u32 i = 0; i < 3; ++i) net.attach(NodeId{i}, [](NodeId, const WireMessage&) {});
+  WireMessage msg;
+  msg.kind = WireMessage::Kind::kReadReq;
+  net.broadcast(NodeId{0}, msg);
+  EXPECT_EQ(net.messages_sent(), 3u);
+  EXPECT_EQ(net.bytes_sent(), 3u * msg.wire_size());
+}
+
+TEST(Network, UnattachedNodeDropsSilently) {
+  Network net(2, 0.0, 0.1, Rng(5));
+  WireMessage msg;
+  net.send(NodeId{0}, NodeId{1}, msg);
+  net.queue().run();  // must not crash
+  SUCCEED();
+}
+
+TEST(WireMessage, SizesScaleWithView) {
+  WireMessage small;
+  small.kind = WireMessage::Kind::kReadReply;
+  WireMessage big = small;
+  big.view.resize(100);
+  EXPECT_GT(big.wire_size(), small.wire_size());
+  EXPECT_EQ(big.wire_size() - small.wire_size(), 100 * 32);
+}
+
+TEST(SignedAppend, DigestDependsOnAllFields) {
+  SignedAppend a;
+  a.author = NodeId{1};
+  a.seq = 2;
+  a.value = 3;
+  SignedAppend b = a;
+  b.value = 4;
+  SignedAppend c = a;
+  c.seq = 9;
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+}  // namespace
+}  // namespace amm::mp

@@ -1,0 +1,68 @@
+#include "mp/sim_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::mp {
+namespace {
+
+TEST(SimulatedAppendMemory, AppendThenReadSeesValue) {
+  SimulatedAppendMemory memory(5, 0.05, 0.5, /*seed=*/1);
+  memory.append_sync(NodeId{0}, 42);
+  const auto view = memory.read_sync(NodeId{3});
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].value, 42);
+  EXPECT_EQ(view[0].author, NodeId{0});
+}
+
+TEST(SimulatedAppendMemory, WholeMemoryReadAcrossAuthors) {
+  SimulatedAppendMemory memory(4, 0.05, 0.3, 2);
+  for (u32 v = 0; v < 4; ++v) memory.append_sync(NodeId{v}, static_cast<i64>(v * 10));
+  const auto view = memory.read_sync(NodeId{0});
+  EXPECT_EQ(view.size(), 4u);
+}
+
+TEST(SimulatedAppendMemory, ConcurrentAppendsAllLand) {
+  SimulatedAppendMemory memory(6, 0.05, 0.5, 3);
+  for (u32 v = 0; v < 6; ++v) memory.append(NodeId{v}, static_cast<i64>(v));
+  memory.run_until_idle();
+  const auto view = memory.read_sync(NodeId{5});
+  EXPECT_EQ(view.size(), 6u);
+}
+
+TEST(SimulatedAppendMemory, PerAuthorSeqPreservesRegisterOrder) {
+  // The single-register total order of §1.1: a node's own appends carry
+  // increasing seq, visible to every reader.
+  SimulatedAppendMemory memory(3, 0.05, 0.2, 4);
+  memory.append_sync(NodeId{1}, 100);
+  memory.append_sync(NodeId{1}, 200);
+  const auto view = memory.read_sync(NodeId{2});
+  u32 seq100 = 0, seq200 = 0;
+  for (const auto& rec : view) {
+    if (rec.value == 100) seq100 = rec.seq;
+    if (rec.value == 200) seq200 = rec.seq;
+  }
+  EXPECT_LT(seq100, seq200);
+}
+
+TEST(FullInformationRounds, MessagesQuadraticPerRound) {
+  SimulatedAppendMemory memory(6, 0.05, 0.3, 5);
+  const auto costs = run_full_information_rounds(memory, 3);
+  ASSERT_EQ(costs.size(), 3u);
+  // Per round: n appends (2n msgs each) + n reads (2n msgs each) = 4n².
+  for (const auto& c : costs) {
+    EXPECT_EQ(c.messages, 4u * 6 * 6);
+  }
+}
+
+TEST(FullInformationRounds, BytesGrowWithHistory) {
+  // §4: read replies ship the full local view, so later rounds cost more
+  // bytes than earlier ones — strictly monotone growth.
+  SimulatedAppendMemory memory(5, 0.05, 0.3, 6);
+  const auto costs = run_full_information_rounds(memory, 4);
+  for (usize r = 1; r < costs.size(); ++r) {
+    EXPECT_GT(costs[r].bytes, costs[r - 1].bytes) << "round " << r;
+  }
+}
+
+}  // namespace
+}  // namespace amm::mp

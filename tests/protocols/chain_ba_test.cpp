@@ -1,0 +1,160 @@
+#include "protocols/chain_ba.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::proto {
+namespace {
+
+ChainParams make(u32 n, u32 t, u32 k, double lambda,
+                 ChainAdversary adv = ChainAdversary::kHonestOpposite,
+                 chain::TieBreak tie = chain::TieBreak::kRandomized) {
+  ChainParams p;
+  p.scenario.n = n;
+  p.scenario.t = t;
+  p.scenario.correct_input = Vote::kPlus;
+  p.k = k;
+  p.lambda = lambda;
+  p.tie_break = tie;
+  p.adversary = adv;
+  return p;
+}
+
+double validity_rate(const ChainParams& params, int reps, bool slotted = true) {
+  int valid = 0;
+  for (u64 seed = 0; seed < static_cast<u64>(reps); ++seed) {
+    const Outcome out =
+        slotted ? run_chain_slotted(params, Rng(seed)) : run_chain_continuous(params, Rng(seed));
+    if (out.terminated && out.validity(params.scenario)) ++valid;
+  }
+  return static_cast<double>(valid) / reps;
+}
+
+TEST(ChainSlotted, NoByzantineTerminatesValid) {
+  const auto params = make(8, 0, 21, 0.2);
+  for (u64 seed = 0; seed < 10; ++seed) {
+    const Outcome out = run_chain_slotted(params, Rng(seed));
+    EXPECT_TRUE(out.terminated);
+    EXPECT_TRUE(out.agreement());
+    EXPECT_TRUE(out.validity(params.scenario));
+    EXPECT_EQ(out.byz_in_decision_set, 0u);
+    EXPECT_EQ(out.decision_set_size, params.k);
+  }
+}
+
+TEST(ChainSlotted, DecisionChainHasKBlocks) {
+  const Outcome out = run_chain_slotted(make(6, 1, 11, 0.5), Rng(1));
+  EXPECT_TRUE(out.terminated);
+  EXPECT_EQ(out.decision_set_size, 11u);
+  EXPECT_GE(out.total_appends, 11u);
+}
+
+TEST(ChainSlotted, HighRateWastesAppends) {
+  // With λ(n−t) >> 1 many correct appends fork and are wasted: total
+  // appends far exceed chain length k.
+  const Outcome out = run_chain_slotted(make(16, 0, 21, 2.0), Rng(2));
+  EXPECT_TRUE(out.terminated);
+  EXPECT_GT(out.total_appends, 2 * 21u);
+}
+
+TEST(ChainSlotted, RushAdversaryBelowThresholdKeepsValidity) {
+  // λ·t = 0.25 << 1: Byzantine tokens are too rare to poison the chain.
+  const auto params = make(16, 2, 41, 0.125, ChainAdversary::kRushExtend);
+  EXPECT_GT(validity_rate(params, 40), 0.9);
+}
+
+TEST(ChainSlotted, RushAdversaryAboveThresholdKillsValidity) {
+  // λ·t = 4 >> 1: the adversary outruns the single useful correct append
+  // per interval (Theorem 5.4).
+  const auto params = make(16, 4, 41, 1.0, ChainAdversary::kRushExtend);
+  EXPECT_LT(validity_rate(params, 40), 0.1);
+}
+
+TEST(ChainSlotted, RushPoisonsChainFraction) {
+  // At λ·t ≈ 2 the Byzantine fraction of the decided chain must clearly
+  // exceed the token share t/n.
+  const auto params = make(16, 2, 41, 1.0, ChainAdversary::kRushExtend);
+  double frac = 0.0;
+  const int reps = 30;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    const Outcome out = run_chain_slotted(params, Rng(seed));
+    frac += static_cast<double>(out.byz_in_decision_set) / static_cast<double>(out.decision_set_size);
+  }
+  frac /= reps;
+  EXPECT_GT(frac, 2.0 * 2.0 / 16.0);
+}
+
+TEST(ChainSlotted, ForkAdversaryWithAdversarialTiesAtThird) {
+  // Theorem 5.3: deterministic tie-breaking in the adversary's favour at
+  // t = n/3 puts ~half the chain in Byzantine hands.
+  auto params = make(12, 4, 41, 0.1, ChainAdversary::kForkTieBreak,
+                     chain::TieBreak::kDeterministicFirst);
+  params.adversarial_ties = true;
+  double frac = 0.0;
+  const int reps = 30;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    const Outcome out = run_chain_slotted(params, Rng(seed));
+    frac += static_cast<double>(out.byz_in_decision_set) / static_cast<double>(out.decision_set_size);
+  }
+  frac /= reps;
+  EXPECT_GT(frac, 0.40);
+  EXPECT_LT(frac, 0.62);
+}
+
+TEST(ChainSlotted, ForkAdversaryWithRandomizedTiesOnlyThird) {
+  // Same attack under randomized tie-breaking: every second Byzantine fork
+  // loses the tie, leaving ~1/3 of the chain Byzantine (§5.2 discussion).
+  const auto params =
+      make(12, 4, 41, 0.1, ChainAdversary::kForkTieBreak, chain::TieBreak::kRandomized);
+  double frac = 0.0;
+  const int reps = 30;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    const Outcome out = run_chain_slotted(params, Rng(seed));
+    frac += static_cast<double>(out.byz_in_decision_set) / static_cast<double>(out.decision_set_size);
+  }
+  frac /= reps;
+  EXPECT_LT(frac, 0.45);
+}
+
+TEST(ChainContinuous, NoByzantineTerminatesValid) {
+  const auto params = make(8, 0, 21, 0.2);
+  const Outcome out = run_chain_continuous(params, Rng(3));
+  EXPECT_TRUE(out.terminated);
+  EXPECT_TRUE(out.validity(params.scenario));
+}
+
+TEST(ChainContinuous, AgreesWithSlottedOnThresholdDirection) {
+  const auto low = make(16, 2, 41, 0.125, ChainAdversary::kRushExtend);
+  const auto high = make(16, 4, 41, 1.0, ChainAdversary::kRushExtend);
+  EXPECT_GT(validity_rate(low, 25, /*slotted=*/false), 0.8);
+  EXPECT_LT(validity_rate(high, 25, /*slotted=*/false), 0.2);
+}
+
+TEST(ChainResilienceBound, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(chain_resilience_bound(10, 5, 0.2), 1.0 / (1.0 + 0.2 * 5.0));
+  // The paper's examples: λ(n−t)=1 → 1/2; λ(n−t)=2 → 1/3.
+  EXPECT_DOUBLE_EQ(chain_resilience_bound(11, 1, 0.1), 0.5);
+  EXPECT_DOUBLE_EQ(chain_resilience_bound(21, 1, 0.1), 1.0 / 3.0);
+}
+
+TEST(ChainSlottedDeathTest, EvenKRejected) {
+  EXPECT_DEATH((void)run_chain_slotted(make(4, 1, 10, 0.5), Rng(1)), "precondition");
+}
+
+TEST(ChainSlottedDeathTest, WeightsRejected) {
+  // Hash-power weights are a continuous-model feature; the slotted runner
+  // refuses them rather than silently ignoring them.
+  auto params = make(4, 1, 11, 0.5);
+  params.weights.assign(4, 0.25);
+  EXPECT_DEATH((void)run_chain_slotted(params, Rng(1)), "precondition");
+}
+
+TEST(ChainSlotted, NonTerminationReportedWhenBudgetTiny) {
+  auto params = make(4, 0, 1001, 0.01);
+  params.max_slots = 3;  // cannot possibly reach k
+  const Outcome out = run_chain_slotted(params, Rng(1));
+  EXPECT_FALSE(out.terminated);
+  EXPECT_FALSE(out.agreement());
+}
+
+}  // namespace
+}  // namespace amm::proto

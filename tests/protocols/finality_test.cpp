@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "protocols/chain_ba.hpp"
+#include "protocols/dag_ba.hpp"
+
+namespace amm::proto {
+namespace {
+
+ChainParams knife_edge(u32 n, u32 k) {
+  ChainParams p;
+  p.scenario.n = n;
+  p.scenario.t = 0;
+  p.k = k;
+  p.lambda = 0.5;
+  p.scenario.inputs.resize(n);
+  for (u32 v = 0; v < n; ++v) p.scenario.inputs[v] = v % 2 ? Vote::kMinus : Vote::kPlus;
+  return p;
+}
+
+TEST(ChainFinality, SynchronousRunsAreFinalAndAgree) {
+  const auto params = knife_edge(12, 21);
+  int splits = 0, flips = 0;
+  for (u64 seed = 0; seed < 40; ++seed) {
+    const FinalityResult res = run_chain_finality(params, /*staleness=*/0.0, Rng(seed));
+    ASSERT_TRUE(res.terminated);
+    splits += res.split;
+    flips += res.flipped;
+  }
+  EXPECT_EQ(splits, 0);
+  EXPECT_EQ(flips, 0);
+}
+
+TEST(ChainFinality, AsynchronySplitsDecisions) {
+  const auto params = knife_edge(12, 21);
+  int splits = 0;
+  for (u64 seed = 0; seed < 40; ++seed) {
+    const FinalityResult res = run_chain_finality(params, /*staleness=*/32.0, Rng(seed));
+    ASSERT_TRUE(res.terminated);
+    splits += res.split;
+  }
+  // Partitioned groups grow private branches: splits dominate.
+  EXPECT_GE(splits, 30);
+}
+
+TEST(ChainFinality, AsynchronyReplacesDecidedPrefix) {
+  const auto params = knife_edge(12, 21);
+  double replaced = 0.0;
+  for (u64 seed = 0; seed < 40; ++seed) {
+    const FinalityResult res = run_chain_finality(params, 32.0, Rng(seed));
+    replaced += static_cast<double>(res.prefix_divergence);
+  }
+  EXPECT_GT(replaced / 40.0, 5.0);
+}
+
+TEST(ChainFinality, MonotoneInStaleness) {
+  const auto params = knife_edge(10, 21);
+  auto split_rate = [&](double staleness) {
+    int splits = 0;
+    for (u64 seed = 0; seed < 60; ++seed) {
+      splits += run_chain_finality(params, staleness, Rng(seed)).split;
+    }
+    return splits;
+  };
+  const int low = split_rate(0.5);
+  const int high = split_rate(64.0);
+  EXPECT_LT(low, high);
+}
+
+TEST(ChainFinalityDeathTest, RequiresNoByzantine) {
+  ChainParams p = knife_edge(10, 21);
+  p.scenario.t = 1;
+  p.scenario.inputs.resize(p.scenario.correct_count());
+  EXPECT_DEATH((void)run_chain_finality(p, 1.0, Rng(1)), "precondition");
+}
+
+TEST(ChainWeights, HeavyByzantineNodeDominates) {
+  // Permissionless mode: a single Byzantine node with 60% of the power
+  // kills chain validity even at tiny per-node λ.
+  ChainParams p;
+  p.scenario.n = 10;
+  p.scenario.t = 1;
+  p.k = 41;
+  p.lambda = 0.5;
+  p.adversary = ChainAdversary::kRushExtend;
+  p.weights.assign(10, 0.4 / 9.0);
+  p.weights[9] = 0.6;
+  int valid = 0;
+  for (u64 seed = 0; seed < 20; ++seed) {
+    const Outcome out = run_chain_continuous(p, Rng(seed));
+    valid += out.terminated && out.validity(p.scenario);
+  }
+  EXPECT_LE(valid, 2);
+}
+
+TEST(DagWeights, PowerShareGovernsCut) {
+  // DAG: one Byzantine node with 30% power should hold ~30% of the cut
+  // (far above its 10% node share).
+  proto::DagParams p;
+  p.scenario.n = 10;
+  p.scenario.t = 1;
+  p.k = 101;
+  p.lambda = 0.5;
+  p.weights.assign(10, 0.7 / 9.0);
+  p.weights[9] = 0.3;
+  double frac = 0.0;
+  const int reps = 30;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    const DagResult res = run_dag_continuous(p, Rng(seed));
+    frac += static_cast<double>(res.outcome.byz_in_decision_set) /
+            static_cast<double>(res.outcome.decision_set_size);
+  }
+  EXPECT_NEAR(frac / reps, 0.3, 0.06);
+}
+
+}  // namespace
+}  // namespace amm::proto

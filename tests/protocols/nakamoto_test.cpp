@@ -1,0 +1,96 @@
+#include "protocols/nakamoto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::proto {
+namespace {
+
+NakamotoParams make(u32 n, u32 t, u32 depth) {
+  NakamotoParams p;
+  p.scenario.n = n;
+  p.scenario.t = t;
+  p.confirmation_depth = depth;
+  return p;
+}
+
+TEST(Nakamoto, TerminatesAndConfirms) {
+  const NakamotoResult res = run_double_spend_race(make(10, 2, 4), Rng(1));
+  EXPECT_TRUE(res.terminated);
+  EXPECT_GE(res.blocks_to_confirm, 4u);
+  EXPECT_GT(res.time_to_confirm, 0.0);
+}
+
+TEST(Nakamoto, WeakAttackerRarelyReverses) {
+  const auto params = make(20, 2, 6);  // q = 0.1, depth 6: bound ~ 1.9e-6
+  int reversed = 0;
+  for (u64 seed = 0; seed < 200; ++seed) {
+    reversed += run_double_spend_race(params, Rng(seed)).reversed;
+  }
+  EXPECT_EQ(reversed, 0);
+}
+
+TEST(Nakamoto, MajorityAttackerAlwaysReverses) {
+  const auto params = make(10, 6, 4);  // q = 0.6 > 1/2
+  int reversed = 0;
+  for (u64 seed = 0; seed < 50; ++seed) {
+    reversed += run_double_spend_race(params, Rng(seed)).reversed;
+  }
+  EXPECT_EQ(reversed, 50);
+}
+
+TEST(Nakamoto, ReversalDecaysWithDepth) {
+  const u32 n = 10, t = 3;  // q = 0.3
+  auto rate = [&](u32 depth) {
+    int reversed = 0;
+    for (u64 seed = 0; seed < 400; ++seed) {
+      reversed += run_double_spend_race(make(n, t, depth), Rng(seed)).reversed;
+    }
+    return static_cast<double>(reversed) / 400.0;
+  };
+  const double d1 = rate(1);
+  const double d4 = rate(4);
+  EXPECT_GT(d1, d4);
+  EXPECT_GT(d1, 0.2);   // bound (3/7)^1 ~ 0.43
+  EXPECT_LT(d4, 0.25);  // bound (3/7)^4 ~ 0.034 (+ race slack)
+}
+
+TEST(Nakamoto, MatchesExactClosedForm) {
+  // The race must land on the negative-binomial closed form within
+  // Monte-Carlo noise (the give-up deficit biases deep depths slightly
+  // low).
+  for (const auto& [t, depth] : std::vector<std::pair<u32, u32>>{{5, 2}, {5, 4}, {8, 2}}) {
+    const auto params = make(20, t, depth);
+    int reversed = 0;
+    const int reps = 2000;
+    for (u64 seed = 0; seed < reps; ++seed) {
+      reversed += run_double_spend_race(params, Rng(seed)).reversed;
+    }
+    const double measured = static_cast<double>(reversed) / reps;
+    const double predicted = nakamoto_reversal_probability(t / 20.0, depth);
+    EXPECT_NEAR(measured, predicted, 0.25 * predicted + 0.01)
+        << "t=" << t << " depth=" << depth;
+  }
+}
+
+TEST(Nakamoto, OvertakeBound) {
+  EXPECT_DOUBLE_EQ(nakamoto_overtake_bound(0.5, 3), 1.0);
+  EXPECT_DOUBLE_EQ(nakamoto_overtake_bound(0.6, 1), 1.0);
+  EXPECT_NEAR(nakamoto_overtake_bound(0.25, 2), (0.25 / 0.75) * (0.25 / 0.75), 1e-12);
+  EXPECT_DOUBLE_EQ(nakamoto_overtake_bound(0.0, 5), 0.0);
+}
+
+TEST(Nakamoto, ClosedFormProperties) {
+  // Depth 1 has no head start: exactly (q/p)^2.
+  EXPECT_NEAR(nakamoto_reversal_probability(0.25, 1), (1.0 / 3.0) * (1.0 / 3.0), 1e-12);
+  // Monotone decreasing in depth; 1.0 at the majority boundary.
+  EXPECT_GT(nakamoto_reversal_probability(0.3, 2), nakamoto_reversal_probability(0.3, 6));
+  EXPECT_DOUBLE_EQ(nakamoto_reversal_probability(0.5, 4), 1.0);
+  EXPECT_DOUBLE_EQ(nakamoto_reversal_probability(0.0, 4), 0.0);
+}
+
+TEST(NakamotoDeathTest, NeedsAnAttacker) {
+  EXPECT_DEATH((void)run_double_spend_race(make(5, 0, 3), Rng(1)), "precondition");
+}
+
+}  // namespace
+}  // namespace amm::proto

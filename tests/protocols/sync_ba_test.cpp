@@ -1,0 +1,216 @@
+#include "protocols/sync_ba.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adversary/sync_strategies.hpp"
+
+namespace amm::proto {
+namespace {
+
+SyncParams make(u32 n, u32 t, Vote input = Vote::kPlus, u32 rounds_override = 0) {
+  SyncParams p;
+  p.scenario.n = n;
+  p.scenario.t = t;
+  p.scenario.correct_input = input;
+  p.rounds_override = rounds_override;
+  return p;
+}
+
+TEST(SyncBa, SilentAdversaryDecidesCorrectInput) {
+  adv::SilentSync silent;
+  for (const Vote input : {Vote::kPlus, Vote::kMinus}) {
+    const auto params = make(5, 2, input);
+    const Outcome out = run_sync_ba(params, silent);
+    EXPECT_TRUE(out.terminated);
+    EXPECT_TRUE(out.agreement());
+    EXPECT_TRUE(out.validity(params.scenario));
+    EXPECT_EQ(out.rounds, 3u);  // t+1
+  }
+}
+
+TEST(SyncBa, RunsExactlyTPlusOneRoundsByDefault) {
+  adv::SilentSync silent;
+  for (u32 t = 0; t <= 3; ++t) {
+    const Outcome out = run_sync_ba(make(8, t), silent);
+    EXPECT_EQ(out.rounds, t + 1);
+  }
+}
+
+TEST(SyncBa, OppositeVoterMinorityCannotFlip) {
+  // t < n/2: Byzantine opposite votes are accepted but outnumbered
+  // (Theorem 3.2 validity).
+  adv::OppositeVoterSync opp(Vote::kMinus);
+  const auto params = make(7, 3);
+  const Outcome out = run_sync_ba(params, opp);
+  EXPECT_TRUE(out.agreement());
+  EXPECT_TRUE(out.validity(params.scenario));
+}
+
+TEST(SyncBa, OppositeVoterMajorityFlips) {
+  // t > n/2: the protocol's guarantee is gone; Byzantine values dominate
+  // the accepted set and validity breaks.
+  adv::OppositeVoterSync opp(Vote::kMinus);
+  const auto params = make(7, 4);
+  const Outcome out = run_sync_ba(params, opp);
+  EXPECT_TRUE(out.agreement());  // views still shared
+  EXPECT_FALSE(out.validity(params.scenario));
+}
+
+TEST(SyncBa, ResilienceBoundaryAcrossN) {
+  // Correct input −1, Byzantine votes +1: the tie at 2t = n resolves to +1
+  // (the library's sign convention), so validity holds exactly iff 2t < n —
+  // the paper's t < n/2 bound, with no tie artifact.
+  adv::OppositeVoterSync opp(Vote::kPlus);
+  for (u32 n = 4; n <= 9; ++n) {
+    for (u32 t = 0; t < n; ++t) {
+      const auto params = make(n, t, Vote::kMinus);
+      const Outcome out = run_sync_ba(params, opp);
+      if (2 * t < n) {
+        EXPECT_TRUE(out.validity(params.scenario)) << "n=" << n << " t=" << t;
+      } else {
+        EXPECT_FALSE(out.validity(params.scenario)) << "n=" << n << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SyncBa, CrashFailuresOneRoundSuffices) {
+  // §3: with crash failures (no Byzantine behaviour) a single round
+  // decides — crashed nodes simply contribute nothing after crashing.
+  adv::CrashSync crash(Vote::kPlus, /*crash_round=*/1);
+  const auto params = make(6, 2, Vote::kPlus, /*rounds_override=*/1);
+  const Outcome out = run_sync_ba(params, crash);
+  EXPECT_TRUE(out.terminated);
+  EXPECT_TRUE(out.agreement());
+  EXPECT_TRUE(out.validity(params.scenario));
+  EXPECT_EQ(out.rounds, 1u);
+}
+
+TEST(SyncBa, LateCrashStillValid) {
+  adv::CrashSync crash(Vote::kPlus, /*crash_round=*/2);
+  const auto params = make(6, 2);
+  const Outcome out = run_sync_ba(params, crash);
+  EXPECT_TRUE(out.agreement());
+  EXPECT_TRUE(out.validity(params.scenario));
+}
+
+TEST(SyncBa, SplitVisionCannotBreakAgreementAtTPlusOne) {
+  for (u64 seed = 0; seed < 20; ++seed) {
+    adv::SplitVisionSync split(Vote::kMinus, Rng(seed));
+    const auto params = make(7, 3);
+    const Outcome out = run_sync_ba(params, split);
+    EXPECT_TRUE(out.agreement()) << "seed=" << seed;
+    EXPECT_TRUE(out.validity(params.scenario)) << "seed=" << seed;
+  }
+}
+
+TEST(SyncBa, LastRoundSplitBreaksAgreementWithTooFewRounds) {
+  // n=5, t=3, mixed inputs summing to 0 among correct nodes: running only
+  // r ≤ t rounds lets the Byzantine chain reach half the correct nodes.
+  for (u32 rounds = 1; rounds <= 3; ++rounds) {
+    SyncParams params = make(5, 3, Vote::kPlus, rounds);
+    params.scenario.inputs = {Vote::kPlus, Vote::kMinus};
+    adv::LastRoundSplitSync attack(Vote::kMinus, /*split=*/1);
+    const Outcome out = run_sync_ba(params, attack);
+    EXPECT_FALSE(out.agreement()) << "rounds=" << rounds;
+  }
+}
+
+TEST(SyncBa, LastRoundSplitFailsAtTPlusOneRounds) {
+  // Same attack at the full t+1 rounds: the all-Byzantine chain is one
+  // author short, so nobody accepts it and agreement holds (Theorem 3.2 /
+  // Lemma 3.1 tightness).
+  SyncParams params = make(5, 3, Vote::kPlus, 0);  // 4 rounds
+  params.scenario.inputs = {Vote::kPlus, Vote::kMinus};
+  adv::LastRoundSplitSync attack(Vote::kMinus, /*split=*/1);
+  const Outcome out = run_sync_ba(params, attack);
+  EXPECT_TRUE(out.agreement());
+}
+
+TEST(SyncAccepts, CorrectOriginAcceptedByEveryone) {
+  adv::SilentSync silent;
+  const auto params = make(4, 1);
+  // Reconstruct messages by re-running and then probing the helper: with a
+  // silent adversary, every round-1 correct append is an origin.
+  const Outcome out = run_sync_ba(params, silent);
+  EXPECT_TRUE(out.terminated);
+  // 3 correct nodes × 2 rounds of appends.
+  EXPECT_EQ(out.total_appends, 6u);
+}
+
+TEST(SyncAccepts, DirectChainCheck) {
+  // Hand-built transcript: n=3, t=1, rounds=2. Origin by node 0, relayed by
+  // node 1 → accepted; origin with no relay → rejected.
+  Scenario s;
+  s.n = 3;
+  s.t = 1;
+  std::vector<SyncMsg> msgs;
+  SyncMsg origin;
+  origin.author = NodeId{0};
+  origin.round = 1;
+  origin.value = Vote::kPlus;
+  origin.sees_now.assign(3, true);
+  msgs.push_back(origin);
+
+  SyncMsg relay;
+  relay.author = NodeId{1};
+  relay.round = 2;
+  relay.value = Vote::kPlus;
+  relay.refs = {0};
+  relay.sees_now.assign(3, true);
+  msgs.push_back(relay);
+
+  SyncMsg lone;
+  lone.author = NodeId{2};
+  lone.round = 1;
+  lone.value = Vote::kMinus;
+  lone.sees_now.assign(3, true);
+  msgs.push_back(lone);
+
+  EXPECT_TRUE(sync_accepts(msgs, s, 2, NodeId{0}, 0));
+  EXPECT_TRUE(sync_accepts(msgs, s, 2, NodeId{1}, 0));
+  EXPECT_FALSE(sync_accepts(msgs, s, 2, NodeId{0}, 2));  // no relay references it
+}
+
+TEST(SyncAccepts, FinalRoundDelayedInvisible) {
+  Scenario s;
+  s.n = 3;
+  s.t = 1;
+  std::vector<SyncMsg> msgs;
+  SyncMsg origin;
+  origin.author = NodeId{2};  // Byzantine
+  origin.round = 1;           // rounds=1 protocol: the origin IS the chain
+  origin.value = Vote::kMinus;
+  origin.sees_now = {true, false, true};  // node 1 misses it
+  msgs.push_back(origin);
+
+  EXPECT_TRUE(sync_accepts(msgs, s, 1, NodeId{0}, 0));
+  EXPECT_FALSE(sync_accepts(msgs, s, 1, NodeId{1}, 0));
+}
+
+TEST(SyncAccepts, RepeatedAuthorRejected) {
+  // Chain of 3 where the same author appears twice must not be accepted.
+  Scenario s;
+  s.n = 4;
+  s.t = 2;
+  std::vector<SyncMsg> msgs;
+  auto push = [&](u32 author, u32 round, std::vector<u32> refs) {
+    SyncMsg m;
+    m.author = NodeId{author};
+    m.round = round;
+    m.value = Vote::kMinus;
+    m.refs = std::move(refs);
+    m.sees_now.assign(4, true);
+    msgs.push_back(m);
+  };
+  push(2, 1, {});       // origin by byz node 2
+  push(3, 2, {0});      // relay by byz node 3
+  push(2, 3, {1});      // node 2 again — repeated author
+  EXPECT_FALSE(sync_accepts(msgs, s, 3, NodeId{0}, 0));
+  // Adding a fresh correct relay at the end makes it acceptable.
+  push(0, 3, {1});
+  EXPECT_TRUE(sync_accepts(msgs, s, 3, NodeId{0}, 0));
+}
+
+}  // namespace
+}  // namespace amm::proto

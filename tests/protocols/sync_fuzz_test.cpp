@@ -1,0 +1,114 @@
+// Randomized-adversary fuzzing of Algorithm 1 (Theorem 3.2): a Byzantine
+// strategy drawing arbitrary legal behaviour — random values, random
+// reference sets (honest view / private chains / arbitrary existing
+// messages), random visibility subsets, random silence — must NEVER break
+// agreement at t < n/2 with t+1 rounds, and never validity either.
+// Hand-crafted strategies test the attacks the proofs name; this tests
+// everything else.
+#include <gtest/gtest.h>
+
+#include "protocols/sync_ba.hpp"
+#include "support/rng.hpp"
+
+namespace amm::proto {
+namespace {
+
+/// Draws every choice uniformly from the legal space each round.
+class ChaosAdversary final : public SyncAdversary {
+ public:
+  explicit ChaosAdversary(Rng rng) : rng_(rng) {}
+
+  std::optional<SyncAppend> on_round(u32, NodeId byz, const SyncContext& ctx) override {
+    const Scenario& s = *ctx.scenario;
+    if (rng_.bernoulli(0.15)) return std::nullopt;  // silence
+
+    SyncAppend app;
+    app.value = rng_.bernoulli(0.5) ? Vote::kPlus : Vote::kMinus;
+
+    // References: any subset of existing messages (possibly empty — a fake
+    // "origin" — possibly the honest view, possibly garbage).
+    const auto& msgs = *ctx.msgs;
+    switch (rng_.uniform_below(4)) {
+      case 0:
+        break;  // empty refs: equivocating origin
+      case 1:
+        app.refs = ctx.prev_round_views->at(byz.index);  // honest
+        break;
+      case 2: {  // private chain: last Byzantine message
+        for (u32 i = static_cast<u32>(msgs.size()); i-- > 0;) {
+          if (s.is_byzantine(msgs[i].author)) {
+            app.refs.push_back(i);
+            break;
+          }
+        }
+        break;
+      }
+      default: {  // arbitrary random subset
+        for (u32 i = 0; i < msgs.size(); ++i) {
+          if (rng_.bernoulli(0.3)) app.refs.push_back(i);
+        }
+        break;
+      }
+    }
+
+    // Visibility: every correct node independently coin-flipped.
+    app.visible_to.assign(s.n, false);
+    for (u32 v = s.correct_count(); v < s.n; ++v) app.visible_to[v] = true;
+    for (u32 v = 0; v < s.correct_count(); ++v) app.visible_to[v] = rng_.bernoulli(0.5);
+    return app;
+  }
+
+ private:
+  Rng rng_;
+};
+
+struct FuzzCase {
+  u32 n;
+  u32 t;
+  u64 seeds;
+};
+
+class SyncChaos : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SyncChaos, AgreementAndValidityHoldBelowHalf) {
+  const auto [n, t, seeds] = GetParam();
+  ASSERT_LT(2 * t, n) << "fuzz cases must sit inside the theorem's bound";
+  for (u64 seed = 0; seed < seeds; ++seed) {
+    ChaosAdversary chaos{Rng(seed)};
+    SyncParams params;
+    params.scenario.n = n;
+    params.scenario.t = t;
+    params.scenario.correct_input = seed % 2 == 0 ? Vote::kPlus : Vote::kMinus;
+    const Outcome out = run_sync_ba(params, chaos);
+    ASSERT_TRUE(out.terminated);
+    EXPECT_TRUE(out.agreement()) << "n=" << n << " t=" << t << " seed=" << seed;
+    EXPECT_TRUE(out.validity(params.scenario)) << "n=" << n << " t=" << t << " seed=" << seed;
+  }
+}
+
+TEST_P(SyncChaos, AgreementHoldsEvenWithMixedInputs) {
+  // Validity is undefined for heterogeneous inputs, but agreement must
+  // still hold for every chaos strategy at t < n/2.
+  const auto [n, t, seeds] = GetParam();
+  for (u64 seed = 0; seed < seeds; ++seed) {
+    ChaosAdversary chaos{Rng(seed + 77777)};
+    SyncParams params;
+    params.scenario.n = n;
+    params.scenario.t = t;
+    params.scenario.inputs.resize(n - t);
+    Rng input_rng(seed);
+    for (auto& in : params.scenario.inputs) {
+      in = input_rng.bernoulli(0.5) ? Vote::kPlus : Vote::kMinus;
+    }
+    const Outcome out = run_sync_ba(params, chaos);
+    EXPECT_TRUE(out.agreement()) << "n=" << n << " t=" << t << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, SyncChaos,
+                         ::testing::Values(FuzzCase{4, 1, 120}, FuzzCase{5, 2, 120},
+                                           FuzzCase{7, 3, 80}, FuzzCase{9, 4, 50},
+                                           FuzzCase{11, 5, 30}));
+
+}  // namespace
+}  // namespace amm::proto

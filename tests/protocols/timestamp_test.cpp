@@ -1,0 +1,134 @@
+#include "protocols/timestamp_ba.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::proto {
+namespace {
+
+TimestampParams make(u32 n, u32 t, u32 k, double lambda = 1.0) {
+  TimestampParams p;
+  p.scenario.n = n;
+  p.scenario.t = t;
+  p.scenario.correct_input = Vote::kPlus;
+  p.k = k;
+  p.lambda = lambda;
+  return p;
+}
+
+TEST(TimestampBa, NoByzantineAlwaysValid) {
+  for (u64 seed = 0; seed < 20; ++seed) {
+    const Outcome out = run_timestamp_ba(make(8, 0, 11), Rng(seed));
+    EXPECT_TRUE(out.terminated);
+    EXPECT_TRUE(out.agreement());
+    EXPECT_TRUE(out.validity(make(8, 0, 11).scenario));
+    EXPECT_EQ(out.byz_in_decision_set, 0u);
+  }
+}
+
+TEST(TimestampBa, TerminatesWithExactlyKAppends) {
+  const Outcome out = run_timestamp_ba(make(4, 1, 15), Rng(3));
+  EXPECT_EQ(out.total_appends, 15u);
+  EXPECT_EQ(out.decision_set_size, 15u);
+}
+
+TEST(TimestampBa, AllCorrectNodesShareDecision) {
+  const auto params = make(6, 2, 9);
+  const Outcome out = run_timestamp_ba(params, Rng(4));
+  ASSERT_EQ(out.decisions.size(), 4u);
+  EXPECT_TRUE(out.agreement());
+}
+
+TEST(TimestampBa, MinorityByzantineUsuallyValid) {
+  // n=20, t=4 (gap 12/20), k=41: failure probability is tiny.
+  const auto params = make(20, 4, 41);
+  int valid = 0;
+  for (u64 seed = 0; seed < 50; ++seed) {
+    const Outcome out = run_timestamp_ba(params, Rng(seed));
+    if (out.validity(params.scenario)) ++valid;
+  }
+  EXPECT_GE(valid, 48);
+}
+
+TEST(TimestampBa, ByzantineMajorityFlipsDecision) {
+  // t > n/2: Byzantine values dominate the first k w.h.p.
+  const auto params = make(10, 8, 41);
+  int flipped = 0;
+  for (u64 seed = 0; seed < 50; ++seed) {
+    const Outcome out = run_timestamp_ba(params, Rng(seed));
+    if (!out.validity(params.scenario)) ++flipped;
+  }
+  EXPECT_GE(flipped, 48);
+}
+
+TEST(TimestampBa, ByzantineShareOfCutMatchesRate) {
+  // E[byz in cut] = k * t/n.
+  const auto params = make(10, 3, 101);
+  double total = 0.0;
+  const int reps = 200;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    total += static_cast<double>(run_timestamp_ba(params, Rng(seed)).byz_in_decision_set);
+  }
+  EXPECT_NEAR(total / reps, 101.0 * 0.3, 2.0);
+}
+
+TEST(TimestampBa, MinusInputIsSymmetric) {
+  auto params = make(8, 2, 21);
+  params.scenario.correct_input = Vote::kMinus;
+  const Outcome out = run_timestamp_ba(params, Rng(5));
+  EXPECT_TRUE(out.terminated);
+  // With a large correct majority the decision follows the correct input.
+  EXPECT_TRUE(out.validity(params.scenario));
+}
+
+TEST(TimestampBa, HeterogeneousInputsFollowTheMajority) {
+  // Knife-edge inputs with no Byzantine nodes: the decision follows the
+  // input majority of the sampled first-k tokens — and all nodes agree.
+  TimestampParams params;
+  params.scenario.n = 9;
+  params.scenario.t = 0;
+  params.scenario.inputs.assign(9, Vote::kPlus);
+  for (u32 v = 0; v < 3; ++v) params.scenario.inputs[v] = Vote::kMinus;  // 6:3 majority plus
+  params.k = 41;
+  int plus = 0;
+  for (u64 seed = 0; seed < 30; ++seed) {
+    const Outcome out = run_timestamp_ba(params, Rng(seed));
+    EXPECT_TRUE(out.agreement());
+    plus += (*out.decisions[0] == Vote::kPlus);
+  }
+  EXPECT_GE(plus, 28);  // 2:1 majority over 41 draws flips almost never
+}
+
+TEST(TimestampBaDeathTest, EvenKRejected) {
+  EXPECT_DEATH((void)run_timestamp_ba(make(4, 1, 10), Rng(1)), "precondition");
+}
+
+TEST(ValidityFailureBound, DecreasesInK) {
+  const double p1 = timestamp_validity_failure_bound(10, 4, 11);
+  const double p2 = timestamp_validity_failure_bound(10, 4, 101);
+  EXPECT_GT(p1, p2);
+}
+
+TEST(ValidityFailureBound, IncreasesInT) {
+  EXPECT_LT(timestamp_validity_failure_bound(10, 1, 21),
+            timestamp_validity_failure_bound(10, 4, 21));
+}
+
+TEST(ValidityFailureBound, HalfIsCoinflip) {
+  EXPECT_NEAR(timestamp_validity_failure_bound(10, 5, 21), 0.5, 1e-9);
+}
+
+TEST(ValidityFailureBound, MatchesMonteCarloRoughly) {
+  // n=10, t=3, k=21: compare the analytic tail with simulation.
+  const auto params = make(10, 3, 21);
+  int failures = 0;
+  const int reps = 2000;
+  for (u64 seed = 0; seed < reps; ++seed) {
+    if (!run_timestamp_ba(params, Rng(seed)).validity(params.scenario)) ++failures;
+  }
+  const double measured = static_cast<double>(failures) / reps;
+  const double predicted = timestamp_validity_failure_bound(10, 3, 21);
+  EXPECT_NEAR(measured, predicted, 0.05);
+}
+
+}  // namespace
+}  // namespace amm::proto

@@ -1,0 +1,89 @@
+#include "sched/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amm::sched {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(2.0, [&] { q.schedule_in(3.0, [&] { fired_at = q.now(); }); });
+  q.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1.0, [&] { ++fired; });
+  q.schedule_at(5.0, [&] { ++fired; });
+  const u64 n = q.run_until(3.0);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 3.0);  // clock advances to the horizon
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunWithBudget) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) q.schedule_at(i, [&] { ++fired; });
+  EXPECT_EQ(q.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) q.schedule_in(1.0, tick);
+  };
+  q.schedule_at(0.0, tick);
+  q.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(q.now(), 4.0);
+  EXPECT_EQ(q.executed(), 5u);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingRejected) {
+  EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run();
+  EXPECT_DEATH(q.schedule_at(1.0, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace amm::sched

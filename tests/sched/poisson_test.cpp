@@ -1,0 +1,82 @@
+#include "sched/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm::sched {
+namespace {
+
+TEST(TokenAuthority, TimesAreStrictlyIncreasing) {
+  TokenAuthority auth(4, 1.0, 1.0, Rng(1));
+  SimTime last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Token tok = auth.next();
+    EXPECT_GT(tok.time, last);
+    last = tok.time;
+  }
+}
+
+TEST(TokenAuthority, HoldersInRange) {
+  TokenAuthority auth(5, 0.5, 1.0, Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(auth.next().holder.index, 5u);
+  }
+}
+
+TEST(TokenAuthority, MergedRateMatches) {
+  // n=8 nodes at λ=0.5 per Δ=2.0 → merged 2 tokens per unit time.
+  TokenAuthority auth(8, 0.5, 2.0, Rng(3));
+  EXPECT_DOUBLE_EQ(auth.merged_rate(), 2.0);
+  const int n = 200'000;
+  SimTime last = 0.0;
+  for (int i = 0; i < n; ++i) last = auth.next().time;
+  EXPECT_NEAR(static_cast<double>(n) / last, 2.0, 0.05);
+}
+
+TEST(TokenAuthority, HoldersApproximatelyUniform) {
+  TokenAuthority auth(4, 1.0, 1.0, Rng(4));
+  std::vector<int> counts(4, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[auth.next().holder.index];
+  for (const int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(TokenAuthority, DeterministicPerRng) {
+  TokenAuthority a(4, 1.0, 1.0, Rng(5));
+  TokenAuthority b(4, 1.0, 1.0, Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    const Token ta = a.next();
+    const Token tb = b.next();
+    EXPECT_EQ(ta.time, tb.time);
+    EXPECT_EQ(ta.holder, tb.holder);
+  }
+}
+
+TEST(SlottedAccess, CountsMatchPoissonMean) {
+  SlottedAccess acc(6, 0.8, Rng(6));
+  double total = 0.0;
+  const int slots = 20'000;
+  for (int s = 0; s < slots; ++s) {
+    const auto counts = acc.next_slot();
+    EXPECT_EQ(counts.size(), 6u);
+    for (const u32 c : counts) total += c;
+  }
+  EXPECT_NEAR(total / (slots * 6), 0.8, 0.02);
+}
+
+TEST(SlottedAccess, IndependentAcrossNodes) {
+  // Crude independence check: covariance of two nodes' counts ≈ 0.
+  SlottedAccess acc(2, 1.0, Rng(7));
+  const int slots = 50'000;
+  double s0 = 0, s1 = 0, s01 = 0;
+  for (int s = 0; s < slots; ++s) {
+    const auto c = acc.next_slot();
+    s0 += c[0];
+    s1 += c[1];
+    s01 += static_cast<double>(c[0]) * c[1];
+  }
+  const double cov = s01 / slots - (s0 / slots) * (s1 / slots);
+  EXPECT_NEAR(cov, 0.0, 0.03);
+}
+
+}  // namespace
+}  // namespace amm::sched

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "sched/poisson.hpp"
+
+namespace amm::sched {
+namespace {
+
+TEST(WeightedTokenAuthority, UnitWeightsMatchUniform) {
+  WeightedTokenAuthority auth({1.0, 1.0, 1.0, 1.0}, 4.0, 1.0, Rng(1));
+  std::vector<int> counts(4, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[auth.next().holder.index];
+  for (const int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(WeightedTokenAuthority, ProportionalToWeights) {
+  // Weights 1:3 → shares 25% / 75%.
+  WeightedTokenAuthority auth({1.0, 3.0}, 2.0, 1.0, Rng(2));
+  std::vector<int> counts(2, 0);
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) ++counts[auth.next().holder.index];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(WeightedTokenAuthority, ZeroWeightNeverDrawn) {
+  WeightedTokenAuthority auth({0.0, 1.0, 0.0}, 1.0, 1.0, Rng(3));
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(auth.next().holder.index, 1u);
+  }
+}
+
+TEST(WeightedTokenAuthority, MergedRateMatches) {
+  // total rate 6 per Δ=2 → 3 per unit time.
+  WeightedTokenAuthority auth({2.0, 1.0}, 6.0, 2.0, Rng(4));
+  EXPECT_DOUBLE_EQ(auth.merged_rate(), 3.0);
+  const int n = 100'000;
+  SimTime last = 0.0;
+  for (int i = 0; i < n; ++i) last = auth.next().time;
+  EXPECT_NEAR(static_cast<double>(n) / last, 3.0, 0.1);
+}
+
+TEST(WeightedTokenAuthority, TimesStrictlyIncreasing) {
+  WeightedTokenAuthority auth({1.0, 2.0, 3.0}, 1.0, 1.0, Rng(5));
+  SimTime last = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Token tok = auth.next();
+    EXPECT_GT(tok.time, last);
+    last = tok.time;
+  }
+}
+
+TEST(WeightedTokenAuthorityDeathTest, BadInputs) {
+  EXPECT_DEATH(WeightedTokenAuthority({}, 1.0, 1.0, Rng(1)), "precondition");
+  EXPECT_DEATH(WeightedTokenAuthority({0.0, 0.0}, 1.0, 1.0, Rng(1)), "precondition");
+  EXPECT_DEATH(WeightedTokenAuthority({-1.0, 2.0}, 1.0, 1.0, Rng(1)), "precondition");
+  EXPECT_DEATH(WeightedTokenAuthority({1.0}, 0.0, 1.0, Rng(1)), "precondition");
+}
+
+}  // namespace
+}  // namespace amm::sched

@@ -1,0 +1,26 @@
+#include "support/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amm {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  AMM_EXPECTS(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST(ContractsDeathTest, ExpectsAbortsOnFalse) {
+  EXPECT_DEATH(AMM_EXPECTS(false), "precondition");
+}
+
+TEST(ContractsDeathTest, EnsuresAbortsOnFalse) {
+  EXPECT_DEATH(AMM_ENSURES(2 > 3), "postcondition");
+}
+
+TEST(ContractsDeathTest, AssertAbortsOnFalse) {
+  EXPECT_DEATH(AMM_ASSERT(0 == 1), "invariant");
+}
+
+}  // namespace
+}  // namespace amm

@@ -1,0 +1,173 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace amm {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, CiShrinksWithSamples) {
+  RunningStats small, large;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.normal());
+  EXPECT_LT(large.ci95_half_width(), small.ci95_half_width());
+}
+
+TEST(BernoulliEstimate, RateAndInterval) {
+  BernoulliEstimate e;
+  for (int i = 0; i < 70; ++i) e.add(true);
+  for (int i = 0; i < 30; ++i) e.add(false);
+  EXPECT_DOUBLE_EQ(e.rate(), 0.7);
+  const auto [lo, hi] = e.wilson95();
+  EXPECT_LT(lo, 0.7);
+  EXPECT_GT(hi, 0.7);
+  EXPECT_GT(lo, 0.55);
+  EXPECT_LT(hi, 0.82);
+}
+
+TEST(BernoulliEstimate, EmptyIntervalIsVacuous) {
+  BernoulliEstimate e;
+  const auto [lo, hi] = e.wilson95();
+  EXPECT_EQ(lo, 0.0);
+  EXPECT_EQ(hi, 1.0);
+}
+
+TEST(BernoulliEstimate, MergeAddsCounts) {
+  BernoulliEstimate a, b;
+  a.add(true);
+  b.add(false);
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 3u);
+  EXPECT_EQ(a.successes(), 2u);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959964), 0.025, 1e-6);
+  EXPECT_NEAR(normal_upper_tail(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_upper_tail(3.0), 0.00135, 1e-5);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (const double x : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(normal_cdf(x) + normal_cdf(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(LogBinomial, SmallCases) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(52, 5)), 2'598'960.0, 1.0);
+}
+
+TEST(BinomialCdf, ExactSmall) {
+  // X ~ Bin(4, 0.5): P[X <= 1] = (1 + 4)/16.
+  EXPECT_NEAR(binomial_cdf(1, 4, 0.5), 5.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_cdf(4, 4, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(binomial_cdf(0, 3, 0.25), std::pow(0.75, 3), 1e-12);
+}
+
+TEST(BinomialCdf, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_cdf(3, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_cdf(3, 10, 1.0), 0.0);
+}
+
+TEST(BinomialCdf, NormalApproxAgreesWithExactNearCrossover) {
+  // Just below the switch to the approximation; compare both regimes.
+  const double exact = binomial_cdf(5000, 10'000, 0.5);
+  EXPECT_NEAR(exact, 0.5, 0.02);
+}
+
+TEST(PoissonUpperTail, Basics) {
+  EXPECT_DOUBLE_EQ(poisson_upper_tail(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(poisson_upper_tail(3, 0.0), 0.0);
+  // P[X >= 1] = 1 - e^-mu.
+  EXPECT_NEAR(poisson_upper_tail(1, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+  // Tail decreases in k.
+  EXPECT_GT(poisson_upper_tail(2, 3.0), poisson_upper_tail(5, 3.0));
+}
+
+TEST(FitLinear, PerfectLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineRecovered) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(i);
+    y.push_back(4.0 - 0.5 * i + rng.normal());
+  }
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, -0.5, 0.01);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(FitLinear, FlatDataHasZeroSlope) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{5, 5, 5};
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+}
+
+}  // namespace
+}  // namespace amm
