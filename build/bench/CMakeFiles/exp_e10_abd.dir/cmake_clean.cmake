@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e10_abd.dir/exp_e10_abd.cpp.o"
+  "CMakeFiles/exp_e10_abd.dir/exp_e10_abd.cpp.o.d"
+  "exp_e10_abd"
+  "exp_e10_abd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e10_abd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e11_crash_one_round.dir/exp_e11_crash_one_round.cpp.o"
+  "CMakeFiles/exp_e11_crash_one_round.dir/exp_e11_crash_one_round.cpp.o.d"
+  "exp_e11_crash_one_round"
+  "exp_e11_crash_one_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e11_crash_one_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

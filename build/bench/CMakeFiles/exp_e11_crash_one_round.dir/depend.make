@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e11_crash_one_round.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e12_backbone.dir/exp_e12_backbone.cpp.o"
+  "CMakeFiles/exp_e12_backbone.dir/exp_e12_backbone.cpp.o.d"
+  "exp_e12_backbone"
+  "exp_e12_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e12_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

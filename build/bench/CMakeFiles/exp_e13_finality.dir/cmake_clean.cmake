@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e13_finality.dir/exp_e13_finality.cpp.o"
+  "CMakeFiles/exp_e13_finality.dir/exp_e13_finality.cpp.o.d"
+  "exp_e13_finality"
+  "exp_e13_finality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e13_finality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

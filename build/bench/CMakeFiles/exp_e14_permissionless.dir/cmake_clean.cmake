@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e14_permissionless.dir/exp_e14_permissionless.cpp.o"
+  "CMakeFiles/exp_e14_permissionless.dir/exp_e14_permissionless.cpp.o.d"
+  "exp_e14_permissionless"
+  "exp_e14_permissionless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e14_permissionless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

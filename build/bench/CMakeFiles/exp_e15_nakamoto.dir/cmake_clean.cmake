@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e15_nakamoto.dir/exp_e15_nakamoto.cpp.o"
+  "CMakeFiles/exp_e15_nakamoto.dir/exp_e15_nakamoto.cpp.o.d"
+  "exp_e15_nakamoto"
+  "exp_e15_nakamoto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e15_nakamoto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

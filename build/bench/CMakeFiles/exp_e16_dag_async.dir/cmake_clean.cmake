@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e16_dag_async.dir/exp_e16_dag_async.cpp.o"
+  "CMakeFiles/exp_e16_dag_async.dir/exp_e16_dag_async.cpp.o.d"
+  "exp_e16_dag_async"
+  "exp_e16_dag_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e16_dag_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e16_dag_async.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e16_dag_async.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e1_flp.dir/exp_e1_flp.cpp.o"
+  "CMakeFiles/exp_e1_flp.dir/exp_e1_flp.cpp.o.d"
+  "exp_e1_flp"
+  "exp_e1_flp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e1_flp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_e2_round_lb.cpp" "bench/CMakeFiles/exp_e2_round_lb.dir/exp_e2_round_lb.cpp.o" "gcc" "bench/CMakeFiles/exp_e2_round_lb.dir/exp_e2_round_lb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/amm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/amm_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/amm_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/amm_adv.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/amm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/amm_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/amm_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e2_round_lb.dir/exp_e2_round_lb.cpp.o"
+  "CMakeFiles/exp_e2_round_lb.dir/exp_e2_round_lb.cpp.o.d"
+  "exp_e2_round_lb"
+  "exp_e2_round_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e2_round_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

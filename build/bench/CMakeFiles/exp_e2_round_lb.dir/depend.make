@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e2_round_lb.
+# This may be replaced when dependencies are built.

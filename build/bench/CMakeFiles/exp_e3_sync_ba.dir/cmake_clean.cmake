@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e3_sync_ba.dir/exp_e3_sync_ba.cpp.o"
+  "CMakeFiles/exp_e3_sync_ba.dir/exp_e3_sync_ba.cpp.o.d"
+  "exp_e3_sync_ba"
+  "exp_e3_sync_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e3_sync_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_e3_sync_ba.
+# This may be replaced when dependencies are built.

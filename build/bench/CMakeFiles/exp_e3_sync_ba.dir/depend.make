@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e3_sync_ba.
+# This may be replaced when dependencies are built.

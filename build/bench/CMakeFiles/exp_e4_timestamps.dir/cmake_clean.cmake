@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e4_timestamps.dir/exp_e4_timestamps.cpp.o"
+  "CMakeFiles/exp_e4_timestamps.dir/exp_e4_timestamps.cpp.o.d"
+  "exp_e4_timestamps"
+  "exp_e4_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e4_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

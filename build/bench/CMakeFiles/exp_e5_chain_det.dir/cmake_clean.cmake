@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e5_chain_det.dir/exp_e5_chain_det.cpp.o"
+  "CMakeFiles/exp_e5_chain_det.dir/exp_e5_chain_det.cpp.o.d"
+  "exp_e5_chain_det"
+  "exp_e5_chain_det.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e5_chain_det.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e6_chain_rand.dir/exp_e6_chain_rand.cpp.o"
+  "CMakeFiles/exp_e6_chain_rand.dir/exp_e6_chain_rand.cpp.o.d"
+  "exp_e6_chain_rand"
+  "exp_e6_chain_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e6_chain_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e6_chain_rand.
+# This may be replaced when dependencies are built.

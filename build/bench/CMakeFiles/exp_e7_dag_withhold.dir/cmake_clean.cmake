@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e7_dag_withhold.dir/exp_e7_dag_withhold.cpp.o"
+  "CMakeFiles/exp_e7_dag_withhold.dir/exp_e7_dag_withhold.cpp.o.d"
+  "exp_e7_dag_withhold"
+  "exp_e7_dag_withhold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e7_dag_withhold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e7_dag_withhold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e8_dag_resilience.dir/exp_e8_dag_resilience.cpp.o"
+  "CMakeFiles/exp_e8_dag_resilience.dir/exp_e8_dag_resilience.cpp.o.d"
+  "exp_e8_dag_resilience"
+  "exp_e8_dag_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e8_dag_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

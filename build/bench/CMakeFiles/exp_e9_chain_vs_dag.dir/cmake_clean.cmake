@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_e9_chain_vs_dag.dir/exp_e9_chain_vs_dag.cpp.o"
+  "CMakeFiles/exp_e9_chain_vs_dag.dir/exp_e9_chain_vs_dag.cpp.o.d"
+  "exp_e9_chain_vs_dag"
+  "exp_e9_chain_vs_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_e9_chain_vs_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

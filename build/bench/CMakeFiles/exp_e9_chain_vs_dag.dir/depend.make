@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_e9_chain_vs_dag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abd_replication.dir/abd_replication.cpp.o"
+  "CMakeFiles/abd_replication.dir/abd_replication.cpp.o.d"
+  "abd_replication"
+  "abd_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abd_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

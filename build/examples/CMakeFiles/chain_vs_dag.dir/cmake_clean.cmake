@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_vs_dag.dir/chain_vs_dag.cpp.o"
+  "CMakeFiles/chain_vs_dag.dir/chain_vs_dag.cpp.o.d"
+  "chain_vs_dag"
+  "chain_vs_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_vs_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_adv.dir/sync_strategies.cpp.o"
+  "CMakeFiles/amm_adv.dir/sync_strategies.cpp.o.d"
+  "libamm_adv.a"
+  "libamm_adv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_adv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

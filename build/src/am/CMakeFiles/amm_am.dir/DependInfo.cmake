@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/am/trace.cpp" "src/am/CMakeFiles/amm_am.dir/trace.cpp.o" "gcc" "src/am/CMakeFiles/amm_am.dir/trace.cpp.o.d"
+  "/root/repo/src/am/view.cpp" "src/am/CMakeFiles/amm_am.dir/view.cpp.o" "gcc" "src/am/CMakeFiles/amm_am.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_am.dir/trace.cpp.o"
+  "CMakeFiles/amm_am.dir/trace.cpp.o.d"
+  "CMakeFiles/amm_am.dir/view.cpp.o"
+  "CMakeFiles/amm_am.dir/view.cpp.o.d"
+  "libamm_am.a"
+  "libamm_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

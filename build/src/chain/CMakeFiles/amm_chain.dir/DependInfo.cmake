@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/backbone.cpp" "src/chain/CMakeFiles/amm_chain.dir/backbone.cpp.o" "gcc" "src/chain/CMakeFiles/amm_chain.dir/backbone.cpp.o.d"
+  "/root/repo/src/chain/block_graph.cpp" "src/chain/CMakeFiles/amm_chain.dir/block_graph.cpp.o" "gcc" "src/chain/CMakeFiles/amm_chain.dir/block_graph.cpp.o.d"
+  "/root/repo/src/chain/dot.cpp" "src/chain/CMakeFiles/amm_chain.dir/dot.cpp.o" "gcc" "src/chain/CMakeFiles/amm_chain.dir/dot.cpp.o.d"
+  "/root/repo/src/chain/rules.cpp" "src/chain/CMakeFiles/amm_chain.dir/rules.cpp.o" "gcc" "src/chain/CMakeFiles/amm_chain.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/amm_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

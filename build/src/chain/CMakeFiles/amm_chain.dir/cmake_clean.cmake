@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_chain.dir/backbone.cpp.o"
+  "CMakeFiles/amm_chain.dir/backbone.cpp.o.d"
+  "CMakeFiles/amm_chain.dir/block_graph.cpp.o"
+  "CMakeFiles/amm_chain.dir/block_graph.cpp.o.d"
+  "CMakeFiles/amm_chain.dir/dot.cpp.o"
+  "CMakeFiles/amm_chain.dir/dot.cpp.o.d"
+  "CMakeFiles/amm_chain.dir/rules.cpp.o"
+  "CMakeFiles/amm_chain.dir/rules.cpp.o.d"
+  "libamm_chain.a"
+  "libamm_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_check.dir/async_protocol.cpp.o"
+  "CMakeFiles/amm_check.dir/async_protocol.cpp.o.d"
+  "CMakeFiles/amm_check.dir/explorer.cpp.o"
+  "CMakeFiles/amm_check.dir/explorer.cpp.o.d"
+  "CMakeFiles/amm_check.dir/round_lb.cpp.o"
+  "CMakeFiles/amm_check.dir/round_lb.cpp.o.d"
+  "CMakeFiles/amm_check.dir/sync_valency.cpp.o"
+  "CMakeFiles/amm_check.dir/sync_valency.cpp.o.d"
+  "libamm_check.a"
+  "libamm_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_crypto.dir/signature.cpp.o"
+  "CMakeFiles/amm_crypto.dir/signature.cpp.o.d"
+  "CMakeFiles/amm_crypto.dir/siphash.cpp.o"
+  "CMakeFiles/amm_crypto.dir/siphash.cpp.o.d"
+  "libamm_crypto.a"
+  "libamm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

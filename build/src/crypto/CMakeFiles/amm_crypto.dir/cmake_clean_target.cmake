@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamm_crypto.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/abd.cpp" "src/mp/CMakeFiles/amm_mp.dir/abd.cpp.o" "gcc" "src/mp/CMakeFiles/amm_mp.dir/abd.cpp.o.d"
+  "/root/repo/src/mp/sim_memory.cpp" "src/mp/CMakeFiles/amm_mp.dir/sim_memory.cpp.o" "gcc" "src/mp/CMakeFiles/amm_mp.dir/sim_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/amm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

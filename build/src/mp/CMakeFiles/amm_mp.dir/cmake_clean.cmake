@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_mp.dir/abd.cpp.o"
+  "CMakeFiles/amm_mp.dir/abd.cpp.o.d"
+  "CMakeFiles/amm_mp.dir/sim_memory.cpp.o"
+  "CMakeFiles/amm_mp.dir/sim_memory.cpp.o.d"
+  "libamm_mp.a"
+  "libamm_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

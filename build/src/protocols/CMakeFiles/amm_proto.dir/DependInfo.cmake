@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/chain_ba.cpp" "src/protocols/CMakeFiles/amm_proto.dir/chain_ba.cpp.o" "gcc" "src/protocols/CMakeFiles/amm_proto.dir/chain_ba.cpp.o.d"
+  "/root/repo/src/protocols/dag_ba.cpp" "src/protocols/CMakeFiles/amm_proto.dir/dag_ba.cpp.o" "gcc" "src/protocols/CMakeFiles/amm_proto.dir/dag_ba.cpp.o.d"
+  "/root/repo/src/protocols/nakamoto.cpp" "src/protocols/CMakeFiles/amm_proto.dir/nakamoto.cpp.o" "gcc" "src/protocols/CMakeFiles/amm_proto.dir/nakamoto.cpp.o.d"
+  "/root/repo/src/protocols/sync_ba.cpp" "src/protocols/CMakeFiles/amm_proto.dir/sync_ba.cpp.o" "gcc" "src/protocols/CMakeFiles/amm_proto.dir/sync_ba.cpp.o.d"
+  "/root/repo/src/protocols/timestamp_ba.cpp" "src/protocols/CMakeFiles/amm_proto.dir/timestamp_ba.cpp.o" "gcc" "src/protocols/CMakeFiles/amm_proto.dir/timestamp_ba.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/am/CMakeFiles/amm_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/amm_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/amm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

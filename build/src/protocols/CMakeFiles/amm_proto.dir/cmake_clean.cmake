@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_proto.dir/chain_ba.cpp.o"
+  "CMakeFiles/amm_proto.dir/chain_ba.cpp.o.d"
+  "CMakeFiles/amm_proto.dir/dag_ba.cpp.o"
+  "CMakeFiles/amm_proto.dir/dag_ba.cpp.o.d"
+  "CMakeFiles/amm_proto.dir/nakamoto.cpp.o"
+  "CMakeFiles/amm_proto.dir/nakamoto.cpp.o.d"
+  "CMakeFiles/amm_proto.dir/sync_ba.cpp.o"
+  "CMakeFiles/amm_proto.dir/sync_ba.cpp.o.d"
+  "CMakeFiles/amm_proto.dir/timestamp_ba.cpp.o"
+  "CMakeFiles/amm_proto.dir/timestamp_ba.cpp.o.d"
+  "libamm_proto.a"
+  "libamm_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

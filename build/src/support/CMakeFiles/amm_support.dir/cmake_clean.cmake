@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amm_support.dir/cli.cpp.o"
+  "CMakeFiles/amm_support.dir/cli.cpp.o.d"
+  "CMakeFiles/amm_support.dir/rng.cpp.o"
+  "CMakeFiles/amm_support.dir/rng.cpp.o.d"
+  "CMakeFiles/amm_support.dir/stats.cpp.o"
+  "CMakeFiles/amm_support.dir/stats.cpp.o.d"
+  "CMakeFiles/amm_support.dir/table.cpp.o"
+  "CMakeFiles/amm_support.dir/table.cpp.o.d"
+  "CMakeFiles/amm_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/amm_support.dir/thread_pool.cpp.o.d"
+  "libamm_support.a"
+  "libamm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/am/access_test.cpp" "tests/CMakeFiles/am_test.dir/am/access_test.cpp.o" "gcc" "tests/CMakeFiles/am_test.dir/am/access_test.cpp.o.d"
+  "/root/repo/tests/am/memory_test.cpp" "tests/CMakeFiles/am_test.dir/am/memory_test.cpp.o" "gcc" "tests/CMakeFiles/am_test.dir/am/memory_test.cpp.o.d"
+  "/root/repo/tests/am/register_test.cpp" "tests/CMakeFiles/am_test.dir/am/register_test.cpp.o" "gcc" "tests/CMakeFiles/am_test.dir/am/register_test.cpp.o.d"
+  "/root/repo/tests/am/sticky_test.cpp" "tests/CMakeFiles/am_test.dir/am/sticky_test.cpp.o" "gcc" "tests/CMakeFiles/am_test.dir/am/sticky_test.cpp.o.d"
+  "/root/repo/tests/am/trace_test.cpp" "tests/CMakeFiles/am_test.dir/am/trace_test.cpp.o" "gcc" "tests/CMakeFiles/am_test.dir/am/trace_test.cpp.o.d"
+  "/root/repo/tests/am/view_property_test.cpp" "tests/CMakeFiles/am_test.dir/am/view_property_test.cpp.o" "gcc" "tests/CMakeFiles/am_test.dir/am/view_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/amm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/amm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/amm_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/amm_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/amm_adv.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/amm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mp/CMakeFiles/amm_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/amm_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

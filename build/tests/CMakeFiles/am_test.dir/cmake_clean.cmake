@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/am_test.dir/am/access_test.cpp.o"
+  "CMakeFiles/am_test.dir/am/access_test.cpp.o.d"
+  "CMakeFiles/am_test.dir/am/memory_test.cpp.o"
+  "CMakeFiles/am_test.dir/am/memory_test.cpp.o.d"
+  "CMakeFiles/am_test.dir/am/register_test.cpp.o"
+  "CMakeFiles/am_test.dir/am/register_test.cpp.o.d"
+  "CMakeFiles/am_test.dir/am/sticky_test.cpp.o"
+  "CMakeFiles/am_test.dir/am/sticky_test.cpp.o.d"
+  "CMakeFiles/am_test.dir/am/trace_test.cpp.o"
+  "CMakeFiles/am_test.dir/am/trace_test.cpp.o.d"
+  "CMakeFiles/am_test.dir/am/view_property_test.cpp.o"
+  "CMakeFiles/am_test.dir/am/view_property_test.cpp.o.d"
+  "am_test"
+  "am_test.pdb"
+  "am_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/am_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_test.dir/chain/backbone_test.cpp.o"
+  "CMakeFiles/chain_test.dir/chain/backbone_test.cpp.o.d"
+  "CMakeFiles/chain_test.dir/chain/block_graph_test.cpp.o"
+  "CMakeFiles/chain_test.dir/chain/block_graph_test.cpp.o.d"
+  "CMakeFiles/chain_test.dir/chain/dot_test.cpp.o"
+  "CMakeFiles/chain_test.dir/chain/dot_test.cpp.o.d"
+  "CMakeFiles/chain_test.dir/chain/rules_property_test.cpp.o"
+  "CMakeFiles/chain_test.dir/chain/rules_property_test.cpp.o.d"
+  "CMakeFiles/chain_test.dir/chain/rules_test.cpp.o"
+  "CMakeFiles/chain_test.dir/chain/rules_test.cpp.o.d"
+  "chain_test"
+  "chain_test.pdb"
+  "chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

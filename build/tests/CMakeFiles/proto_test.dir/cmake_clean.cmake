@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_test.dir/protocols/chain_ba_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/chain_ba_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/dag_ba_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/dag_ba_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/finality_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/finality_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/nakamoto_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/nakamoto_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/sync_ba_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/sync_ba_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/sync_fuzz_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/sync_fuzz_test.cpp.o.d"
+  "CMakeFiles/proto_test.dir/protocols/timestamp_test.cpp.o"
+  "CMakeFiles/proto_test.dir/protocols/timestamp_test.cpp.o.d"
+  "proto_test"
+  "proto_test.pdb"
+  "proto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/assert_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/assert_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/cli_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/cli_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/rng_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/rng_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/stats_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/stats_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/table_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/table_test.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/thread_pool_test.cpp.o"
+  "CMakeFiles/support_test.dir/support/thread_pool_test.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
