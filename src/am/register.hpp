@@ -15,8 +15,8 @@ class Register {
  public:
   explicit Register(u32 owner) : owner_(owner) {}
 
-  u32 owner() const { return owner_; }
-  u32 size() const { return static_cast<u32>(log_.size()); }
+  [[nodiscard]] u32 owner() const { return owner_; }
+  [[nodiscard]] u32 size() const { return static_cast<u32>(log_.size()); }
 
   /// Appends and returns the id assigned to the new message. The append
   /// time must be non-decreasing: the memory is the single authority for
@@ -31,15 +31,15 @@ class Register {
   }
 
   /// Complete view of the register (the R_i.read() operation).
-  std::span<const Message> read() const { return log_; }
+  [[nodiscard]] std::span<const Message> read() const { return log_; }
 
-  const Message& at(u32 seq) const {
+  [[nodiscard]] const Message& at(u32 seq) const {
     AMM_EXPECTS(seq < log_.size());
     return log_[seq];
   }
 
   /// Number of messages appended strictly before `time`.
-  u32 size_at(SimTime time) const {
+  [[nodiscard]] u32 size_at(SimTime time) const {
     // Registers are short-lived per trial and appends are time-ordered, so
     // binary search over append times suffices.
     u32 lo = 0, hi = size();

@@ -21,33 +21,33 @@ class MemoryView {
   MemoryView(const AppendMemory* memory, std::vector<u32> lens)
       : memory_(memory), lens_(std::move(lens)) {}
 
-  bool valid() const { return memory_ != nullptr; }
-  const AppendMemory& memory() const {
+  [[nodiscard]] bool valid() const { return memory_ != nullptr; }
+  [[nodiscard]] const AppendMemory& memory() const {
     AMM_EXPECTS(memory_ != nullptr);
     return *memory_;
   }
 
-  u32 register_count() const { return static_cast<u32>(lens_.size()); }
-  u32 register_len(u32 reg) const {
+  [[nodiscard]] u32 register_count() const { return static_cast<u32>(lens_.size()); }
+  [[nodiscard]] u32 register_len(u32 reg) const {
     AMM_EXPECTS(reg < lens_.size());
     return lens_[reg];
   }
 
   /// Total number of messages visible in this view.
-  usize size() const {
+  [[nodiscard]] usize size() const {
     usize total = 0;
     for (const u32 len : lens_) total += len;
     return total;
   }
 
-  bool empty() const { return size() == 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
 
-  bool contains(MsgId id) const {
+  [[nodiscard]] bool contains(MsgId id) const {
     return id.author < lens_.size() && id.seq < lens_[id.author];
   }
 
   /// Message lookup; the id must be contained in the view.
-  const Message& msg(MsgId id) const;
+  [[nodiscard]] const Message& msg(MsgId id) const;
 
   /// Calls fn(msg) for every visible message, register by register.
   template <typename Fn>
@@ -55,11 +55,11 @@ class MemoryView {
 
   /// All visible messages sorted by authoritative append time (stable by id
   /// for identical times). Used by the timestamp baseline (§5.1).
-  std::vector<MsgId> by_append_time() const;
+  [[nodiscard]] std::vector<MsgId> by_append_time() const;
 
   /// Prefix partial order: *this ⊑ other iff every register prefix of this
   /// view is contained in other's.
-  bool subset_of(const MemoryView& other) const {
+  [[nodiscard]] bool subset_of(const MemoryView& other) const {
     AMM_EXPECTS(lens_.size() == other.lens_.size());
     for (usize i = 0; i < lens_.size(); ++i) {
       if (lens_[i] > other.lens_[i]) return false;
@@ -72,11 +72,11 @@ class MemoryView {
   }
 
   /// Lattice join (componentwise max) — the least view containing both.
-  MemoryView join(const MemoryView& other) const;
+  [[nodiscard]] MemoryView join(const MemoryView& other) const;
   /// Lattice meet (componentwise min) — the greatest view inside both.
-  MemoryView meet(const MemoryView& other) const;
+  [[nodiscard]] MemoryView meet(const MemoryView& other) const;
 
-  const std::vector<u32>& lens() const { return lens_; }
+  [[nodiscard]] const std::vector<u32>& lens() const { return lens_; }
 
  private:
   const AppendMemory* memory_ = nullptr;

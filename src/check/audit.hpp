@@ -1,0 +1,85 @@
+// Runtime invariant auditor (docs/ANALYSIS.md).
+//
+// The paper's theorems lean on properties the type system cannot express:
+// registers are append-only (§2 — a register's prefix never changes once
+// written), appended messages are immutable, observers' views grow
+// monotonically along the prefix lattice, and every view's block graph is
+// acyclic. This observer re-derives those properties from the live objects
+// and aborts on the first violation, so a memory-corrupting bug (or a
+// future refactor that breaks the model) fails the test suite instead of
+// silently skewing measured statistics.
+//
+// Cost model: auditing is OFF by default. Configure with -DAMM_AUDIT=ON to
+// turn the check_*() wrappers into real work; the audit_*() entry points
+// are always compiled so tests can exercise the auditor directly.
+#pragma once
+
+#include <vector>
+
+#include "am/memory.hpp"
+#include "chain/block_graph.hpp"
+
+namespace amm::check {
+
+#if defined(AMM_AUDIT)
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+/// SipHash-2-4 digest of one message under the fixed audit key: id, value,
+/// payload, append time, and the full reference list. Any later change to
+/// an already-appended message changes its digest.
+[[nodiscard]] u64 message_digest(const am::Message& msg);
+
+/// Append-only/immutability auditor for one am::AppendMemory.
+///
+/// Keeps a rolling SipHash digest of every register prefix it has seen.
+/// Each audit (a) recomputes the digest of the previously-recorded prefix
+/// and compares — catching both prefix truncation and in-place mutation of
+/// any message field — and (b) extends the recorded digest over the newly
+/// appended suffix, verifying per-register append-time monotonicity and
+/// reference validity (refs must point at already-appended messages) on
+/// the way. Violations abort via the contract-failure path.
+class MemoryAuditor {
+ public:
+  /// Debug-checkable hook: compiles to nothing unless AMM_AUDIT is on.
+  void check(const am::AppendMemory& memory) {
+    if constexpr (kAuditEnabled) audit(memory);
+  }
+  void check_view(const am::MemoryView& view) {
+    if constexpr (kAuditEnabled) audit_view(view);
+  }
+
+  /// Unconditional audit of the memory against everything recorded so far.
+  void audit(const am::AppendMemory& memory);
+
+  /// View monotonicity: successive observed views of one observer must be
+  /// ordered by the prefix partial order (§2's configuration lattice).
+  void audit_view(const am::MemoryView& view);
+
+  /// Number of completed audit passes (for tests).
+  [[nodiscard]] u64 audits() const { return audits_; }
+
+ private:
+  struct RegisterState {
+    u32 len = 0;     ///< messages covered by `digest`
+    u64 digest = 0;  ///< rolling prefix digest
+  };
+
+  std::vector<RegisterState> regs_;
+  std::vector<u32> view_lens_;  ///< last observed view (empty = none yet)
+  u64 audits_ = 0;
+};
+
+/// Structural invariants of a BlockGraph: the topological order covers
+/// every block and respects every visible reference edge (acyclicity),
+/// parent depths are consistent, and GHOST subtree weights add up.
+void audit_graph(const chain::BlockGraph& graph);
+
+/// Debug-checkable wrapper around audit_graph.
+inline void check_graph(const chain::BlockGraph& graph) {
+  if constexpr (kAuditEnabled) audit_graph(graph);
+}
+
+}  // namespace amm::check

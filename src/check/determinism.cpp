@@ -1,0 +1,221 @@
+#include "check/determinism.hpp"
+
+#include <cstring>
+
+#include "adversary/sync_strategies.hpp"
+#include "crypto/siphash.hpp"
+#include "protocols/chain_ba.hpp"
+#include "protocols/dag_ba.hpp"
+#include "protocols/nakamoto.hpp"
+#include "protocols/outcome.hpp"
+#include "protocols/sync_ba.hpp"
+#include "protocols/timestamp_ba.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace amm::check {
+namespace {
+
+constexpr crypto::SipKey kTraceKey{0x414d4d5f54524143ULL, 0x455f4b45595f3032ULL};
+
+/// Canonical little-endian serializer. Every quantity goes through one of
+/// these helpers so a trace is a pure function of the run's observables.
+class TraceWriter {
+ public:
+  void word(u64 w) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::byte>((w >> (8 * i)) & 0xff));
+    }
+  }
+
+  void time(SimTime t) {
+    // Bit-exact: determinism means the same doubles, not merely close ones.
+    u64 w;
+    static_assert(sizeof(SimTime) == sizeof(u64));
+    std::memcpy(&w, &t, sizeof(w));
+    word(w);
+  }
+
+  void vote(std::optional<Vote> v) {
+    word(v ? static_cast<u64>(static_cast<i64>(vote_value(*v))) : u64{0xff});
+  }
+
+  void outcome(const proto::Outcome& out) {
+    word(out.terminated ? 1 : 0);
+    word(out.decisions.size());
+    for (const auto& d : out.decisions) vote(d);
+    time(out.elapsed);
+    word(out.total_appends);
+    word(out.rounds);
+    word(out.byz_in_decision_set);
+    word(out.decision_set_size);
+  }
+
+  std::vector<std::byte> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+proto::Scenario canonical_scenario(u32 n, u32 t) {
+  proto::Scenario s;
+  s.n = n;
+  s.t = t;
+  s.correct_input = Vote::kPlus;
+  return s;
+}
+
+std::vector<std::byte> trace_sync_ba(u64 seed, u32 n, u32 t) {
+  proto::SyncParams params;
+  params.scenario = canonical_scenario(n, t);
+  // Randomized split-visibility adversary: the run only reproduces if the
+  // adversary's Rng stream is also a pure function of the seed.
+  adv::SplitVisionSync adversary(Vote::kMinus, Rng::for_stream(seed, 7));
+  const proto::Outcome out = proto::run_sync_ba(params, adversary);
+  TraceWriter w;
+  w.word(static_cast<u64>(ProtocolKind::kSyncBa));
+  w.outcome(out);
+  return w.take();
+}
+
+std::vector<std::byte> trace_timestamp_ba(u64 seed, u32 n, u32 t) {
+  proto::TimestampParams params;
+  params.scenario = canonical_scenario(n, t);
+  params.k = 15;
+  params.lambda = 1.0;
+  const proto::Outcome out = proto::run_timestamp_ba(params, Rng::for_stream(seed, 11));
+  TraceWriter w;
+  w.word(static_cast<u64>(ProtocolKind::kTimestampBa));
+  w.outcome(out);
+  return w.take();
+}
+
+std::vector<std::byte> trace_chain_ba(u64 seed, u32 n, u32 t) {
+  proto::ChainParams params;
+  params.scenario = canonical_scenario(n, t);
+  params.k = 15;
+  params.lambda = 0.5;
+  params.tie_break = chain::TieBreak::kRandomized;
+  params.adversary = proto::ChainAdversary::kRushExtend;
+  const proto::Outcome out = proto::run_chain_continuous(params, Rng::for_stream(seed, 13));
+  TraceWriter w;
+  w.word(static_cast<u64>(ProtocolKind::kChainBa));
+  w.outcome(out);
+  return w.take();
+}
+
+std::vector<std::byte> trace_dag_ba(u64 seed, u32 n, u32 t) {
+  proto::DagParams params;
+  params.scenario = canonical_scenario(n, t);
+  params.k = 15;
+  params.lambda = 0.5;
+  params.adversary = proto::DagAdversary::kRateAndWithhold;
+  const proto::DagResult result = proto::run_dag_continuous(params, Rng::for_stream(seed, 17));
+  TraceWriter w;
+  w.word(static_cast<u64>(ProtocolKind::kDagBa));
+  w.outcome(result.outcome);
+  w.word(result.dumped);
+  w.word(result.omniscient_bound);
+  w.time(result.final_gap);
+  return w.take();
+}
+
+std::vector<std::byte> trace_nakamoto(u64 seed, u32 n, u32 t) {
+  proto::NakamotoParams params;
+  params.scenario = canonical_scenario(n, t);
+  params.confirmation_depth = 4;
+  const proto::NakamotoResult result =
+      proto::run_double_spend_race(params, Rng::for_stream(seed, 19));
+  TraceWriter w;
+  w.word(static_cast<u64>(ProtocolKind::kNakamoto));
+  w.word(result.terminated ? 1 : 0);
+  w.word(result.reversed ? 1 : 0);
+  w.word(result.blocks_to_confirm);
+  w.time(result.time_to_confirm);
+  w.word(static_cast<u64>(result.final_lead));
+  return w.take();
+}
+
+}  // namespace
+
+const char* protocol_name(ProtocolKind protocol) {
+  switch (protocol) {
+    case ProtocolKind::kSyncBa: return "sync_ba";
+    case ProtocolKind::kTimestampBa: return "timestamp_ba";
+    case ProtocolKind::kChainBa: return "chain_ba";
+    case ProtocolKind::kDagBa: return "dag_ba";
+    case ProtocolKind::kNakamoto: return "nakamoto";
+  }
+  AMM_ASSERT(false);
+  return "?";
+}
+
+std::vector<std::byte> run_trace(ProtocolKind protocol, u64 seed, u32 n, u32 t) {
+  switch (protocol) {
+    case ProtocolKind::kSyncBa: return trace_sync_ba(seed, n, t);
+    case ProtocolKind::kTimestampBa: return trace_timestamp_ba(seed, n, t);
+    case ProtocolKind::kChainBa: return trace_chain_ba(seed, n, t);
+    case ProtocolKind::kDagBa: return trace_dag_ba(seed, n, t);
+    case ProtocolKind::kNakamoto: return trace_nakamoto(seed, n, t);
+  }
+  AMM_ASSERT(false);
+  return {};
+}
+
+u64 trace_digest(const std::vector<std::byte>& trace) {
+  return crypto::siphash24(kTraceKey, std::span<const std::byte>(trace));
+}
+
+DeterminismReport audit_determinism(ThreadPool& pool, ProtocolKind protocol, u64 seed, u32 n,
+                                    u32 t) {
+  std::vector<std::byte> traces[2];
+  // Two independent pool tasks: if any state leaks between executions (a
+  // shared generator, a static cache keyed by thread), the interleaving
+  // makes it visible here.
+  parallel_for(pool, 2, [&](usize i) { traces[i] = run_trace(protocol, seed, n, t); });
+
+  DeterminismReport report;
+  report.protocol = protocol;
+  report.seed = seed;
+  report.trace_size_a = traces[0].size();
+  report.trace_size_b = traces[1].size();
+  report.digest_a = trace_digest(traces[0]);
+  report.digest_b = trace_digest(traces[1]);
+  const usize common = std::min(traces[0].size(), traces[1].size());
+  usize diverge = common;
+  for (usize i = 0; i < common; ++i) {
+    if (traces[0][i] != traces[1][i]) {
+      diverge = i;
+      break;
+    }
+  }
+  report.deterministic =
+      traces[0].size() == traces[1].size() && diverge == common;
+  report.first_divergence = report.deterministic ? 0 : diverge;
+  return report;
+}
+
+std::vector<DeterminismReport> audit_all_protocols(ThreadPool& pool, u64 seed, u32 n, u32 t) {
+  std::vector<DeterminismReport> reports;
+  reports.reserve(kAllProtocols.size());
+  for (const ProtocolKind protocol : kAllProtocols) {
+    reports.push_back(audit_determinism(pool, protocol, seed, n, t));
+  }
+  return reports;
+}
+
+std::string report_to_string(const DeterminismReport& report) {
+  std::string s = protocol_name(report.protocol);
+  s += " seed=" + std::to_string(report.seed);
+  if (report.deterministic) {
+    s += " deterministic digest=" + std::to_string(report.digest_a);
+  } else {
+    s += " NONDETERMINISTIC sizes=" + std::to_string(report.trace_size_a) + "/" +
+         std::to_string(report.trace_size_b) +
+         " first_divergence=" + std::to_string(report.first_divergence) +
+         " digests=" + std::to_string(report.digest_a) + "/" + std::to_string(report.digest_b);
+  }
+  return s;
+}
+
+}  // namespace amm::check

@@ -1,0 +1,75 @@
+// Determinism auditor (docs/ANALYSIS.md).
+//
+// The randomized-access results (Theorems 5.4/5.6) are only reproducible
+// if a simulation is a pure function of its seed: same seed, same decision,
+// same trace — regardless of which worker thread runs the trial or what
+// else the process is doing. This module runs each protocol twice with an
+// identical seed, scheduled as independent ThreadPool tasks, and
+// byte-compares the canonical traces. A single diverging byte is reported
+// with its offset, so a sneaky source of nondeterminism (an unordered-map
+// iteration, a time(nullptr) seed, a data race on an Rng) is caught the
+// moment it lands.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "support/types.hpp"
+
+namespace amm::check {
+
+/// The five protocol families under audit (Algorithms 1 and 4–6 plus the
+/// Nakamoto race of §5.2's literature context).
+enum class ProtocolKind {
+  kSyncBa,
+  kTimestampBa,
+  kChainBa,
+  kDagBa,
+  kNakamoto,
+};
+
+inline constexpr std::array<ProtocolKind, 5> kAllProtocols{
+    ProtocolKind::kSyncBa,   ProtocolKind::kTimestampBa, ProtocolKind::kChainBa,
+    ProtocolKind::kDagBa,    ProtocolKind::kNakamoto,
+};
+
+[[nodiscard]] const char* protocol_name(ProtocolKind protocol);
+
+/// Runs one execution of `protocol` on a canonical (n, t) scenario with the
+/// given seed and serializes every observable of the run — decisions,
+/// termination, simulated times (bit-exact), append/round counters,
+/// adversary statistics — into a canonical byte trace.
+[[nodiscard]] std::vector<std::byte> run_trace(ProtocolKind protocol, u64 seed, u32 n = 7,
+                                               u32 t = 2);
+
+/// SipHash digest of a trace (stable fingerprint for logs and tables).
+[[nodiscard]] u64 trace_digest(const std::vector<std::byte>& trace);
+
+struct DeterminismReport {
+  ProtocolKind protocol = ProtocolKind::kSyncBa;
+  u64 seed = 0;
+  bool deterministic = false;
+  usize trace_size_a = 0;
+  usize trace_size_b = 0;
+  usize first_divergence = 0;  ///< byte offset; meaningful when !deterministic
+  u64 digest_a = 0;
+  u64 digest_b = 0;
+};
+
+/// Runs `protocol` twice with the same seed as two tasks on `pool` (so the
+/// executions interleave with whatever else the pool is doing) and
+/// byte-compares the traces.
+[[nodiscard]] DeterminismReport audit_determinism(ThreadPool& pool, ProtocolKind protocol,
+                                                  u64 seed, u32 n = 7, u32 t = 2);
+
+/// Audits every protocol in kAllProtocols with the same seed.
+[[nodiscard]] std::vector<DeterminismReport> audit_all_protocols(ThreadPool& pool, u64 seed,
+                                                                 u32 n = 7, u32 t = 2);
+
+/// Human-readable one-liner, e.g. for a failed assertion message.
+[[nodiscard]] std::string report_to_string(const DeterminismReport& report);
+
+}  // namespace amm::check

@@ -1,8 +1,8 @@
-#include <algorithm>
-#include <optional>
 #include "check/explorer.hpp"
 
+#include <algorithm>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 
 #include "support/assert.hpp"

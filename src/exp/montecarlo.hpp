@@ -21,6 +21,7 @@ inline BernoulliEstimate estimate_rate(ThreadPool& pool, u64 master_seed, usize 
                                        const std::function<bool(usize, Rng&)>& trial) {
   std::mutex merge_mutex;
   BernoulliEstimate total;
+  if (trials == 0) return total;
   const usize chunks = std::min<usize>(trials, pool.size() * 4);
   const usize per_chunk = (trials + chunks - 1) / chunks;
   for (usize c = 0; c < chunks; ++c) {
@@ -46,6 +47,7 @@ inline RunningStats collect_stats(ThreadPool& pool, u64 master_seed, usize trial
                                   const std::function<double(usize, Rng&)>& trial) {
   std::mutex merge_mutex;
   RunningStats total;
+  if (trials == 0) return total;
   const usize chunks = std::min<usize>(trials, pool.size() * 4);
   const usize per_chunk = (trials + chunks - 1) / chunks;
   for (usize c = 0; c < chunks; ++c) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "am/memory.hpp"
+#include "check/audit.hpp"
 #include "sched/poisson.hpp"
 
 namespace amm::proto {
@@ -30,6 +31,13 @@ class ChainState {
   explicit ChainState(u32 node_count) : memory_(node_count) {}
 
   am::AppendMemory& memory() { return memory_; }
+
+  /// Invariant audit hook (no-op unless AMM_AUDIT): append-only growth and
+  /// prefix immutability of the backing memory, monotone observed views.
+  void audit() {
+    auditor_.check(memory_);
+    auditor_.check_view(memory_.read());
+  }
 
   usize append(NodeId author, Vote vote, i32 parent, SimTime now) {
     std::vector<am::MsgId> refs;
@@ -93,6 +101,7 @@ class ChainState {
 
  private:
   am::AppendMemory memory_;
+  check::MemoryAuditor auditor_;
   std::vector<Rec> recs_;
   u32 max_depth_ = 0;
   std::vector<usize> deepest_;
@@ -305,6 +314,7 @@ Outcome run_chain_slotted(const ChainParams& params, Rng rng) {
     }
 
     if (st.max_depth() >= params.k) {
+      st.audit();
       Outcome out = decide(st, params, tie_rng);
       out.rounds = slot + 1;
       out.elapsed = static_cast<SimTime>(slot + 1) * params.delta;
@@ -342,10 +352,14 @@ Outcome run_chain_continuous(const ChainParams& params, Rng rng) {
       }
     }
     if (st.max_depth() >= params.k) {
+      st.audit();
       Outcome out = decide(st, params, tie_rng);
       out.rounds = i + 1;
       out.elapsed = token.time;
       return out;
+    }
+    if constexpr (check::kAuditEnabled) {
+      if ((i & 0x3ff) == 0x3ff) st.audit();
     }
   }
   return not_terminated(params, st);
@@ -471,6 +485,7 @@ FinalityResult run_chain_finality(const ChainParams& params, double staleness_fa
     }
 
     if (done_a && done_b && st.max_depth() >= 2 * params.k) {
+      st.audit();
       result.decision_final = cut(st.deepest(), cut_final);
       result.terminated = true;
       result.split = result.decision_a != result.decision_b;

@@ -8,6 +8,7 @@
 
 #include "am/memory.hpp"
 #include "chain/block_graph.hpp"
+#include "check/audit.hpp"
 #include "sched/poisson.hpp"
 
 namespace amm::proto {
@@ -20,6 +21,13 @@ class DagState {
   explicit DagState(u32 node_count) : memory_(node_count) {}
 
   am::AppendMemory& memory() { return memory_; }
+
+  /// Invariant audit hook (no-op unless AMM_AUDIT): append-only growth and
+  /// prefix immutability of the backing memory, monotone observed views.
+  void audit() {
+    auditor_.check(memory_);
+    auditor_.check_view(memory_.read());
+  }
 
   /// Appends a block referencing `refs` (local indices; refs[0] = parent).
   usize append(NodeId author, Vote vote, const std::vector<usize>& refs, SimTime now, bool byz) {
@@ -88,6 +96,7 @@ class DagState {
   };
 
   am::AppendMemory memory_;
+  check::MemoryAuditor auditor_;
   std::vector<Rec> recs_;
   std::vector<bool> true_tip_flags_;
   std::vector<bool> stale_tip_flags_;
@@ -168,6 +177,7 @@ DagResult run_dag_continuous(const DagParams& params, Rng rng) {
     // pivot chain and take the first k values of the ordering.
     const am::MemoryView view = st.memory().read();
     const chain::BlockGraph graph(view);
+    check::check_graph(graph);
     const std::vector<am::MsgId> order = chain::linearize_dag(graph, params.pivot_rule);
     i64 sum = 0;
     u64 byz_in_cut = 0;
@@ -194,6 +204,7 @@ DagResult run_dag_continuous(const DagParams& params, Rng rng) {
   bool decided = false;
 
   auto finish = [&](u64 dumped, SimTime at) {
+    st.audit();
     result.omniscient_bound = omniscient;
     result.outcome.elapsed = at;
     result.outcome.rounds = steps;

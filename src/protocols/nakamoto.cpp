@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "am/memory.hpp"
+#include "check/audit.hpp"
 #include "sched/poisson.hpp"
 
 namespace amm::proto {
@@ -19,6 +20,7 @@ NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng) {
   am::AppendMemory memory(s.n);
   sched::TokenAuthority authority(s.n, params.lambda, params.delta,
                                   Rng::for_stream(rng.next(), 1));
+  check::MemoryAuditor auditor;
 
   // Public chain: correct blocks after the tx block; private chain: the
   // attacker's fork from the tx block's parent. Serialized regime — each
@@ -62,12 +64,14 @@ NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng) {
     }
     if (accepted) {
       if (private_len > public_len) {
+        auditor.check(memory);
         result.terminated = true;
         result.reversed = true;  // the attacker publishes and wins
         result.final_lead = static_cast<i64>(public_len) - static_cast<i64>(private_len);
         return result;
       }
       if (public_len >= private_len + params.give_up_deficit) {
+        auditor.check(memory);
         result.terminated = true;
         result.reversed = false;
         result.final_lead = static_cast<i64>(public_len) - static_cast<i64>(private_len);
@@ -75,6 +79,7 @@ NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng) {
       }
     }
   }
+  auditor.check(memory);
   return result;
 }
 

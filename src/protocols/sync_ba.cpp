@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.hpp"
 #include "support/assert.hpp"
 
 namespace amm::proto {
@@ -181,6 +182,20 @@ Outcome run_sync_ba(const SyncParams& params, SyncAdversary& adversary) {
       if (any_delayed) next_delayed.push_back(i);
     }
     delayed = std::move(next_delayed);
+  }
+
+  if constexpr (check::kAuditEnabled) {
+    // Append-memory discipline on the round-structured log (this runner
+    // tracks its own message list instead of an AppendMemory): references
+    // only ever point backwards, rounds never decrease along the log, and
+    // every visibility vector covers all n nodes.
+    u32 prev_round = 1;
+    for (u32 i = 0; i < msgs.size(); ++i) {
+      AMM_ASSERT(msgs[i].round >= prev_round && msgs[i].round <= rounds);
+      prev_round = msgs[i].round;
+      AMM_ASSERT(msgs[i].sees_now.size() == s.n);
+      for (const u32 r : msgs[i].refs) AMM_ASSERT(r < i);
+    }
   }
 
   // Decision (lines 6–7). Each correct node evaluates acceptance over the

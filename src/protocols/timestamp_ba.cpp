@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "am/memory.hpp"
+#include "check/audit.hpp"
 #include "sched/poisson.hpp"
 #include "support/stats.hpp"
 
@@ -17,6 +18,7 @@ Outcome run_timestamp_ba(const TimestampParams& params, Rng rng) {
   am::AppendMemory memory(s.n);
   sched::TokenAuthority authority(s.n, params.lambda, params.delta,
                                   Rng::for_stream(rng.next(), 1));
+  check::MemoryAuditor auditor;
 
   // Every node loops: read, and on a granted token append its value. The
   // optimal Byzantine strategy (proof of Thm 5.2) appends the opposite of
@@ -26,12 +28,20 @@ Outcome run_timestamp_ba(const TimestampParams& params, Rng rng) {
     const Vote vote = s.is_byzantine(token.holder) ? opposite(s.correct_input)
                                                    : s.input_of(token.holder.index);
     memory.append(token.holder, vote, /*payload=*/0, /*refs=*/{}, token.time);
+    if constexpr (check::kAuditEnabled) {
+      if ((memory.total_appends() & 0x3f) == 0) {
+        auditor.audit(memory);
+        auditor.audit_view(memory.read());
+      }
+    }
   }
 
   // Decision: order all appends by the authority's absolute timestamps and
   // take the sign of the first k. Every node reads the same memory, so all
   // correct nodes compute the identical decision.
   const am::MemoryView view = memory.read();
+  auditor.check(memory);
+  auditor.check_view(view);
   const std::vector<am::MsgId> ordered = view.by_append_time();
   AMM_ASSERT(ordered.size() >= params.k);
 

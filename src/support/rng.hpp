@@ -21,7 +21,7 @@ class SplitMix64 {
  public:
   constexpr explicit SplitMix64(u64 seed) : state_(seed) {}
 
-  constexpr u64 next() {
+  [[nodiscard]] constexpr u64 next() {
     u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
@@ -52,9 +52,9 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~u64{0}; }
 
-  u64 operator()() { return next(); }
+  [[nodiscard]] u64 operator()() { return next(); }
 
-  u64 next() {
+  [[nodiscard]] u64 next() {
     const u64 result = rotl(state_[1] * 5, 7) * 9;
     const u64 t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -67,10 +67,10 @@ class Rng {
   }
 
   /// Uniform double in [0, 1). Uses the top 53 bits.
-  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  [[nodiscard]] double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
   /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
-  u64 uniform_below(u64 bound) {
+  [[nodiscard]] u64 uniform_below(u64 bound) {
     AMM_EXPECTS(bound > 0);
     __extension__ using u128 = unsigned __int128;
     // Rejection sampling on the high multiply keeps the result exactly uniform.
@@ -83,16 +83,16 @@ class Rng {
   }
 
   /// Uniform integer in [lo, hi] inclusive.
-  i64 uniform_int(i64 lo, i64 hi) {
+  [[nodiscard]] i64 uniform_int(i64 lo, i64 hi) {
     AMM_EXPECTS(lo <= hi);
     return lo + static_cast<i64>(uniform_below(static_cast<u64>(hi - lo) + 1));
   }
 
-  bool bernoulli(double p) { return uniform() < p; }
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
 
   /// Exponential with rate `lambda` (mean 1/lambda): inter-arrival times of
   /// the paper's Poisson memory-access process.
-  double exponential(double lambda) {
+  [[nodiscard]] double exponential(double lambda) {
     AMM_EXPECTS(lambda > 0.0);
     double u;
     do {
@@ -104,10 +104,10 @@ class Rng {
   /// Poisson-distributed count with mean `mu`. Knuth's method for small mu,
   /// normal approximation with continuity correction for large mu (the
   /// experiments only need counts, not exact tail behaviour, above mu≈64).
-  u64 poisson(double mu);
+  [[nodiscard]] u64 poisson(double mu);
 
   /// Standard normal via Marsaglia polar method.
-  double normal();
+  [[nodiscard]] double normal();
 
   /// Fisher-Yates shuffle.
   template <typename Container>

@@ -1,6 +1,10 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <typeinfo>
 
 #include "support/assert.hpp"
 
@@ -50,7 +54,21 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    // Contract enforcement: tasks must not throw (see submit()). An
+    // exception escaping onto a worker thread would be UB-adjacent chaos —
+    // std::terminate at best, a deadlocked wait_idle at worst — so convert
+    // it into a deterministic, attributable abort.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "amm: ThreadPool task violated its no-throw contract: %s (%s)\n",
+                   e.what(), typeid(e).name());
+      std::abort();
+    } catch (...) {
+      std::fprintf(stderr,
+                   "amm: ThreadPool task violated its no-throw contract (non-std exception)\n");
+      std::abort();
+    }
     {
       std::scoped_lock lock(mutex_);
       --in_flight_;

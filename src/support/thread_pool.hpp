@@ -29,7 +29,10 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task. Tasks must not throw; they run on worker threads.
+  /// Enqueues a task. Tasks must not throw: they run on worker threads
+  /// where no caller can catch, so the pool enforces the contract — an
+  /// escaping exception aborts the process with a message naming the
+  /// exception type instead of leaving UB/std::terminate to the runtime.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has completed.
@@ -48,7 +51,10 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, count) across the pool and blocks until done.
-/// fn must be safe to call concurrently for distinct i.
+/// fn must be safe to call concurrently for distinct i, and must not throw
+/// (ThreadPool contract: an escaping exception aborts with a message —
+/// there is no cross-thread exception propagation here; report per-trial
+/// failures through fn's captured state instead).
 void parallel_for(ThreadPool& pool, usize count, const std::function<void(usize)>& fn);
 
 }  // namespace amm

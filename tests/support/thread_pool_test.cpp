@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace amm {
@@ -77,6 +79,63 @@ TEST(ThreadPool, ReusableAcrossBatches) {
     pool.wait_idle();
     EXPECT_EQ(counter.load(), (batch + 1) * 20);
   }
+}
+
+// Contention stress for the TSan job: many small parallel_for batches while
+// outside threads hammer wait_idle concurrently. Exercises the
+// queue/in_flight/condvar handshake from every side at once — exactly the
+// code a future work-stealing or sharded-queue refactor would touch first.
+TEST(ThreadPoolStress, SmallBatchesWithConcurrentWaitIdle) {
+  ThreadPool pool(4);
+  std::atomic<u64> total{0};
+  std::atomic<bool> stop{false};
+  std::thread waiter_a([&] {
+    while (!stop.load(std::memory_order_relaxed)) pool.wait_idle();
+  });
+  std::thread waiter_b([&] {
+    while (!stop.load(std::memory_order_relaxed)) pool.wait_idle();
+  });
+
+  constexpr int kBatches = 200;
+  constexpr usize kBatchSize = 37;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    parallel_for(pool, kBatchSize, [&](usize) { total.fetch_add(1, std::memory_order_relaxed); });
+  }
+  stop = true;
+  waiter_a.join();
+  waiter_b.join();
+  EXPECT_EQ(total.load(), static_cast<u64>(kBatches) * kBatchSize);
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmittersSeeAllTasksDrain) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) pool.submit([&counter] { ++counter; });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kPerSubmitter);
+}
+
+// The no-throw contract (thread_pool.hpp): an exception escaping a task
+// aborts with an attributable message instead of std::terminate/UB. The
+// pool is constructed inside the death statement so the forked child owns
+// its threads.
+TEST(ThreadPoolDeathTest, ThrowingTaskAbortsWithMessage) {
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.submit([] { throw std::runtime_error("boom"); });
+        pool.wait_idle();
+      },
+      "no-throw contract");
 }
 
 }  // namespace
