@@ -11,6 +11,7 @@
 
 #include "exp/harness.hpp"
 #include "mp/abd.hpp"
+#include "mp/network.hpp"
 
 using namespace amm;
 

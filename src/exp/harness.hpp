@@ -6,10 +6,15 @@
 //   --seed S      master seed (default 20200715 — the SPAA'20 date)
 //   --threads T   worker threads (default: hardware)
 //   --csv         emit CSV instead of the ASCII table
+//   --json FILE   additionally write every emitted table to FILE as JSON
+//                 (machine-readable summary; aggregated by collect_bench.py)
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -23,13 +28,20 @@ struct Harness {
         trials(static_cast<usize>(args.get_int("trials", static_cast<i64>(default_trials)))),
         seed(static_cast<u64>(args.get_int("seed", 20200715))),
         pool(static_cast<unsigned>(args.get_int("threads", 0))),
-        csv(args.has_flag("csv")) {
+        csv(args.has_flag("csv")),
+        json_path(args.get_string("json", "")),
+        title_(title) {
     if (!csv) {
       std::cout << "== " << title << " ==\n"
                 << "trials/config=" << trials << " seed=" << seed << " threads=" << pool.size()
                 << "\n\n";
     }
   }
+
+  ~Harness() { write_json(); }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
 
   void emit(const Table& table, const std::string& caption = "") {
     if (csv) {
@@ -39,6 +51,7 @@ struct Harness {
       table.print(std::cout);
       std::cout << "\n";
     }
+    if (!json_path.empty()) collected_.emplace_back(caption, table);
   }
 
   CliArgs args;
@@ -46,6 +59,32 @@ struct Harness {
   u64 seed;
   ThreadPool pool;
   bool csv;
+  std::string json_path;
+
+ private:
+  /// One JSON document per run: run parameters plus every emitted table,
+  /// in emission order. Written at destruction so a binary that emits
+  /// several tables still produces a single well-formed file.
+  void write_json() const {
+    if (json_path.empty()) return;
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "warning: cannot write --json file " << json_path << "\n";
+      return;
+    }
+    out << "{\"title\":\"" << json_escape(title_) << "\",\"seed\":" << seed
+        << ",\"trials\":" << trials << ",\"tables\":[";
+    for (usize i = 0; i < collected_.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"caption\":\"" << json_escape(collected_[i].first) << "\",\"table\":";
+      collected_[i].second.print_json(out);
+      out << '}';
+    }
+    out << "]}\n";
+  }
+
+  std::string title_;
+  std::vector<std::pair<std::string, Table>> collected_;
 };
 
 }  // namespace amm::exp

@@ -2,7 +2,7 @@
 
 namespace amm::mp {
 
-AbdNode::AbdNode(NodeId id, Network& net, const crypto::KeyRegistry& keys)
+AbdNode::AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys)
     : id_(id), net_(&net), keys_(&keys), quorum_(net.node_count() / 2 + 1) {
   net_->attach(id_, [this](NodeId from, const WireMessage& msg) { handle(from, msg); });
 }
@@ -95,7 +95,7 @@ void AbdNode::handle(NodeId from, const WireMessage& msg) {
   }
 }
 
-ForgerNode::ForgerNode(NodeId id, NodeId victim, Network& net, const crypto::KeyRegistry& keys)
+ForgerNode::ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::KeyRegistry& keys)
     : id_(id), victim_(victim), net_(&net), keys_(&keys) {
   net_->attach(id_, [this](NodeId from, const WireMessage& msg) {
     switch (msg.kind) {

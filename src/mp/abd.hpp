@@ -21,14 +21,16 @@
 #include <unordered_set>
 #include <vector>
 
-#include "mp/network.hpp"
+#include "mp/transport.hpp"
 
 namespace amm::mp {
 
-/// A correct node running the ABD-style simulation.
+/// A correct node running the ABD-style simulation. Written against the
+/// Transport seam, so the same protocol code runs over the simulated
+/// Network and over the real TCP transport (net/transport.hpp).
 class AbdNode {
  public:
-  AbdNode(NodeId id, Network& net, const crypto::KeyRegistry& keys);
+  AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys);
 
   NodeId id() const { return id_; }
 
@@ -63,7 +65,7 @@ class AbdNode {
   };
 
   NodeId id_;
-  Network* net_;
+  Transport* net_;
   const crypto::KeyRegistry* keys_;
   u32 quorum_;  // floor(n/2) + 1
   u32 next_seq_ = 0;
@@ -78,7 +80,7 @@ class AbdNode {
 /// t < n/2 such nodes every operation still terminates.
 class CrashedNode {
  public:
-  CrashedNode(NodeId id, Network& net) {
+  CrashedNode(NodeId id, Transport& net) {
     net.attach(id, [](NodeId, const WireMessage&) {});
   }
 };
@@ -88,12 +90,12 @@ class CrashedNode {
 /// must discard them (Lemma 4.1's argument).
 class ForgerNode {
  public:
-  ForgerNode(NodeId id, NodeId victim, Network& net, const crypto::KeyRegistry& keys);
+  ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::KeyRegistry& keys);
 
  private:
   NodeId id_;
   NodeId victim_;
-  Network* net_;
+  Transport* net_;
   const crypto::KeyRegistry* keys_;
   u32 forged_ = 0;
 };

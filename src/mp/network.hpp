@@ -6,87 +6,38 @@
 // eventually receive everything). Delivery order between different pairs is
 // unconstrained — exactly the asynchrony the ABD simulation must tolerate.
 // Message and byte counters feed the §4 complexity experiment.
+//
+// Network implements the mp::Transport seam, so every protocol written
+// against Transport (AbdNode in particular) also runs unchanged over the
+// real TCP transport in src/net/.
 #pragma once
 
-#include <functional>
 #include <vector>
 
-#include "crypto/signature.hpp"
+#include "mp/transport.hpp"
 #include "sched/event_queue.hpp"
 #include "support/rng.hpp"
-#include "support/types.hpp"
 
 namespace amm::mp {
 
-/// One signed append record — the unit the simulated memory views consist
-/// of. `seq` orders the author's own appends (the per-register total order
-/// that R_i provides in the append memory).
-struct SignedAppend {
-  NodeId author;
-  u32 seq = 0;
-  i64 value = 0;
-  crypto::Signature sig;
-
-  u64 digest() const {
-    return crypto::DigestBuilder{}
-        .add(author.index)
-        .add(seq)
-        .add(static_cast<u64>(value))
-        .finish();
-  }
-
-  bool operator==(const SignedAppend& o) const {
-    return author == o.author && seq == o.seq && value == o.value;
-  }
-};
-
-/// Wire format: a tagged union over the four ABD message kinds.
-struct WireMessage {
-  enum class Kind : u8 { kAppend, kAck, kReadReq, kReadReply };
-
-  Kind kind = Kind::kAppend;
-  SignedAppend append;              ///< kAppend: the record; kAck: the acked record
-  crypto::Signature ack_sig;        ///< kAck: acker's signature over the record digest
-  u64 read_id = 0;                  ///< kReadReq / kReadReply correlation id
-  std::vector<SignedAppend> view;   ///< kReadReply: full local view
-
-  /// Approximate serialized size in bytes (for complexity accounting).
-  usize wire_size() const {
-    constexpr usize kRecord = 8 + 4 + 8 + 12;  // author+seq+value+sig
-    switch (kind) {
-      case Kind::kAppend:
-        return 1 + kRecord;
-      case Kind::kAck:
-        return 1 + kRecord + 12;
-      case Kind::kReadReq:
-        return 1 + 8;
-      case Kind::kReadReply:
-        return 1 + 8 + view.size() * kRecord;
-    }
-    return 1;
-  }
-};
-
-class Network {
+class Network final : public Transport {
  public:
-  using Handler = std::function<void(NodeId from, const WireMessage&)>;
-
   Network(u32 node_count, SimTime min_delay, SimTime max_delay, Rng rng)
       : handlers_(node_count), min_delay_(min_delay), max_delay_(max_delay), rng_(rng) {
     AMM_EXPECTS(node_count > 0);
     AMM_EXPECTS(min_delay >= 0.0 && max_delay >= min_delay);
   }
 
-  u32 node_count() const { return static_cast<u32>(handlers_.size()); }
+  u32 node_count() const override { return static_cast<u32>(handlers_.size()); }
   sched::EventQueue& queue() { return queue_; }
 
-  void attach(NodeId id, Handler handler) {
+  void attach(NodeId id, Handler handler) override {
     AMM_EXPECTS(id.index < handlers_.size());
     handlers_[id.index] = std::move(handler);
   }
 
   /// Sends one message with a fresh random delay.
-  void send(NodeId from, NodeId to, WireMessage msg) {
+  void send(NodeId from, NodeId to, WireMessage msg) override {
     AMM_EXPECTS(to.index < handlers_.size());
     ++messages_sent_;
     bytes_sent_ += msg.wire_size();
@@ -96,14 +47,12 @@ class Network {
     });
   }
 
-  /// Broadcast to every node, including the sender (self-delivery models
-  /// the local bookkeeping step and keeps the quorum arithmetic uniform).
-  void broadcast(NodeId from, const WireMessage& msg) {
+  void broadcast(NodeId from, const WireMessage& msg) override {
     for (u32 to = 0; to < handlers_.size(); ++to) send(from, NodeId{to}, msg);
   }
 
-  u64 messages_sent() const { return messages_sent_; }
-  u64 bytes_sent() const { return bytes_sent_; }
+  u64 messages_sent() const override { return messages_sent_; }
+  u64 bytes_sent() const override { return bytes_sent_; }
 
  private:
   sched::EventQueue queue_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mp/abd.hpp"
+#include "mp/network.hpp"
 
 namespace amm::mp {
 

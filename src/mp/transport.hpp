@@ -1,0 +1,46 @@
+// The transport seam of the §4 substrate.
+//
+// AbdNode (Algorithms 2–3) is written against this interface only, so the
+// same protocol code runs over the single-process simulated Network
+// (mp/network.hpp) and the real TCP transport (net/transport.hpp). A
+// transport routes WireMessages between the n nodes of one logical
+// cluster and accounts for messages/bytes in the units of the §4
+// complexity experiment (payload bytes = WireMessage::wire_size()).
+#pragma once
+
+#include <functional>
+
+#include "mp/wire.hpp"
+
+namespace amm::mp {
+
+class Transport {
+ public:
+  using Handler = std::function<void(NodeId from, const WireMessage&)>;
+
+  Transport() = default;
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  virtual ~Transport() = default;
+
+  /// Number of nodes in the cluster (the paper's n).
+  virtual u32 node_count() const = 0;
+
+  /// Registers the message handler for locally hosted node `id`. The
+  /// simulator hosts all n nodes; a TCP transport hosts exactly one.
+  virtual void attach(NodeId id, Handler handler) = 0;
+
+  /// Sends one message from `from` to `to`. Delivery is asynchronous; a
+  /// transport must never invoke a handler re-entrantly from send().
+  virtual void send(NodeId from, NodeId to, WireMessage msg) = 0;
+
+  /// Broadcast to every node, including the sender (self-delivery models
+  /// the local bookkeeping step and keeps the quorum arithmetic uniform).
+  virtual void broadcast(NodeId from, const WireMessage& msg) = 0;
+
+  /// §4 complexity accounting: messages / payload bytes handed to send().
+  virtual u64 messages_sent() const = 0;
+  virtual u64 bytes_sent() const = 0;
+};
+
+}  // namespace amm::mp

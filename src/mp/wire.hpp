@@ -1,0 +1,78 @@
+// Wire-level message types of the §4 ABD simulation (Algorithms 2–3).
+//
+// `SignedAppend` is the unit the memory views consist of; `WireMessage` is
+// the tagged union over the four ABD message kinds. Both the simulated
+// Network and the real TCP transport (src/net/) move exactly these types;
+// `wire_size()` is the *exact* encoded payload size of net/codec — the
+// codec derives its layout from the kWire* constants below and
+// tests/net/codec_test.cpp pins encode(msg).size() == msg.wire_size() for
+// every kind, so the §4/E10 complexity numbers reflect real bytes.
+#pragma once
+
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "support/types.hpp"
+
+namespace amm::mp {
+
+/// One signed append record — the unit the simulated memory views consist
+/// of. `seq` orders the author's own appends (the per-register total order
+/// that R_i provides in the append memory).
+struct SignedAppend {
+  NodeId author;
+  u32 seq = 0;
+  i64 value = 0;
+  crypto::Signature sig;
+
+  u64 digest() const {
+    return crypto::DigestBuilder{}
+        .add(author.index)
+        .add(seq)
+        .add(static_cast<u64>(value))
+        .finish();
+  }
+
+  bool operator==(const SignedAppend& o) const {
+    return author == o.author && seq == o.seq && value == o.value;
+  }
+};
+
+/// Exact encoded field widths (little-endian, fixed width). net/codec
+/// writes fields in declaration order using these widths; change them only
+/// together with the codec.
+inline constexpr usize kWireSigBytes = 4 + 8;                    // signer + tag
+inline constexpr usize kWireRecordBytes = 4 + 4 + 8 + kWireSigBytes;  // author+seq+value+sig
+inline constexpr usize kWireKindBytes = 1;
+inline constexpr usize kWireReadIdBytes = 8;
+inline constexpr usize kWireCountBytes = 4;  // view length prefix in kReadReply
+
+/// Wire format: a tagged union over the four ABD message kinds.
+struct WireMessage {
+  enum class Kind : u8 { kAppend, kAck, kReadReq, kReadReply };
+
+  Kind kind = Kind::kAppend;
+  SignedAppend append;              ///< kAppend: the record; kAck: the acked record
+  crypto::Signature ack_sig;        ///< kAck: acker's signature over the record digest
+  u64 read_id = 0;                  ///< kReadReq / kReadReply correlation id
+  std::vector<SignedAppend> view;   ///< kReadReply: full local view
+
+  /// Exact serialized payload size in bytes (the net/codec encoding; the
+  /// 4-byte frame length prefix of the TCP transport is not included).
+  usize wire_size() const {
+    switch (kind) {
+      case Kind::kAppend:
+        return kWireKindBytes + kWireRecordBytes;
+      case Kind::kAck:
+        return kWireKindBytes + kWireRecordBytes + kWireSigBytes;
+      case Kind::kReadReq:
+        return kWireKindBytes + kWireReadIdBytes;
+      case Kind::kReadReply:
+        return kWireKindBytes + kWireReadIdBytes + kWireCountBytes +
+               view.size() * kWireRecordBytes;
+    }
+    return kWireKindBytes;
+  }
+};
+
+}  // namespace amm::mp

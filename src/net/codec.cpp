@@ -1,0 +1,288 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+#include "crypto/signature.hpp"
+#include "support/assert.hpp"
+
+namespace amm::net {
+
+void Encoder::put_u32(u32 v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void Encoder::put_u64(u64 v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+std::optional<u8> Decoder::get_u8() {
+  if (!ok_ || remaining() < 1) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  return bytes_[pos_++];
+}
+
+std::optional<u32> Decoder::get_u32() {
+  if (!ok_ || remaining() < 4) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(bytes_[pos_ + static_cast<usize>(i)]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<u64> Decoder::get_u64() {
+  if (!ok_ || remaining() < 8) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes_[pos_ + static_cast<usize>(i)]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::optional<i64> Decoder::get_i64() {
+  const auto v = get_u64();
+  if (!v) return std::nullopt;
+  return static_cast<i64>(*v);
+}
+
+// ---- records / messages ----
+
+void encode_record(Encoder& enc, const mp::SignedAppend& rec) {
+  enc.put_u32(rec.author.index);
+  enc.put_u32(rec.seq);
+  enc.put_i64(rec.value);
+  enc.put_u32(rec.sig.signer.index);
+  enc.put_u64(rec.sig.tag);
+}
+
+std::optional<mp::SignedAppend> decode_record(Decoder& dec) {
+  mp::SignedAppend rec;
+  const auto author = dec.get_u32();
+  const auto seq = dec.get_u32();
+  const auto value = dec.get_i64();
+  const auto signer = dec.get_u32();
+  const auto tag = dec.get_u64();
+  if (!dec.ok()) return std::nullopt;
+  rec.author = NodeId{*author};
+  rec.seq = *seq;
+  rec.value = *value;
+  rec.sig = crypto::Signature{NodeId{*signer}, *tag};
+  return rec;
+}
+
+std::vector<u8> encode_message(const mp::WireMessage& msg) {
+  Encoder enc;
+  enc.put_u8(static_cast<u8>(msg.kind));
+  switch (msg.kind) {
+    case mp::WireMessage::Kind::kAppend:
+      encode_record(enc, msg.append);
+      break;
+    case mp::WireMessage::Kind::kAck:
+      encode_record(enc, msg.append);
+      enc.put_u32(msg.ack_sig.signer.index);
+      enc.put_u64(msg.ack_sig.tag);
+      break;
+    case mp::WireMessage::Kind::kReadReq:
+      enc.put_u64(msg.read_id);
+      break;
+    case mp::WireMessage::Kind::kReadReply:
+      enc.put_u64(msg.read_id);
+      enc.put_u32(static_cast<u32>(msg.view.size()));
+      for (const mp::SignedAppend& rec : msg.view) encode_record(enc, rec);
+      break;
+  }
+  AMM_ENSURES(enc.bytes().size() == msg.wire_size());
+  return enc.take();
+}
+
+std::optional<mp::WireMessage> decode_message(std::span<const u8> payload) {
+  Decoder dec(payload);
+  const auto kind_byte = dec.get_u8();
+  if (!kind_byte || *kind_byte > static_cast<u8>(mp::WireMessage::Kind::kReadReply)) {
+    return std::nullopt;
+  }
+  mp::WireMessage msg;
+  msg.kind = static_cast<mp::WireMessage::Kind>(*kind_byte);
+  switch (msg.kind) {
+    case mp::WireMessage::Kind::kAppend: {
+      const auto rec = decode_record(dec);
+      if (!rec) return std::nullopt;
+      msg.append = *rec;
+      break;
+    }
+    case mp::WireMessage::Kind::kAck: {
+      const auto rec = decode_record(dec);
+      const auto signer = dec.get_u32();
+      const auto tag = dec.get_u64();
+      if (!rec || !dec.ok()) return std::nullopt;
+      msg.append = *rec;
+      msg.ack_sig = crypto::Signature{NodeId{*signer}, *tag};
+      break;
+    }
+    case mp::WireMessage::Kind::kReadReq: {
+      const auto rid = dec.get_u64();
+      if (!rid) return std::nullopt;
+      msg.read_id = *rid;
+      break;
+    }
+    case mp::WireMessage::Kind::kReadReply: {
+      const auto rid = dec.get_u64();
+      const auto count = dec.get_u32();
+      if (!rid || !count) return std::nullopt;
+      // The count must match the remaining bytes exactly — a lying count
+      // is corruption, not a short view.
+      if (dec.remaining() != static_cast<usize>(*count) * mp::kWireRecordBytes) {
+        return std::nullopt;
+      }
+      msg.read_id = *rid;
+      msg.view.reserve(*count);
+      for (u32 i = 0; i < *count; ++i) {
+        const auto rec = decode_record(dec);
+        if (!rec) return std::nullopt;
+        msg.view.push_back(*rec);
+      }
+      break;
+    }
+  }
+  if (dec.remaining() != 0) return std::nullopt;  // trailing garbage
+  return msg;
+}
+
+// ---- handshake ----
+
+u64 Hello::digest() const {
+  return crypto::DigestBuilder{}.add(kWireMagic).add(node.index).add(nonce).finish();
+}
+
+std::vector<u8> encode_hello(const Hello& hello) {
+  Encoder enc;
+  enc.put_u32(kWireMagic);
+  enc.put_u32(hello.node.index);
+  enc.put_u64(hello.nonce);
+  enc.put_u32(hello.sig.signer.index);
+  enc.put_u64(hello.sig.tag);
+  return enc.take();
+}
+
+std::optional<Hello> decode_hello(std::span<const u8> payload) {
+  Decoder dec(payload);
+  const auto magic = dec.get_u32();
+  if (!magic || *magic != kWireMagic) return std::nullopt;
+  Hello hello;
+  const auto node = dec.get_u32();
+  const auto nonce = dec.get_u64();
+  const auto signer = dec.get_u32();
+  const auto tag = dec.get_u64();
+  if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
+  hello.node = NodeId{*node};
+  hello.nonce = *nonce;
+  hello.sig = crypto::Signature{NodeId{*signer}, *tag};
+  return hello;
+}
+
+// ---- control plane ----
+
+std::vector<u8> encode_ctl_request(const CtlRequest& req) {
+  Encoder enc;
+  enc.put_u8(static_cast<u8>(req.op));
+  enc.put_i64(req.value);
+  enc.put_u32(req.k);
+  return enc.take();
+}
+
+std::optional<CtlRequest> decode_ctl_request(std::span<const u8> payload) {
+  Decoder dec(payload);
+  const auto op = dec.get_u8();
+  const auto value = dec.get_i64();
+  const auto k = dec.get_u32();
+  if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
+  if (*op < static_cast<u8>(CtlOp::kAppend) || *op > static_cast<u8>(CtlOp::kKick)) {
+    return std::nullopt;
+  }
+  return CtlRequest{static_cast<CtlOp>(*op), *value, *k};
+}
+
+std::vector<u8> encode_ctl_reply(const CtlReply& rep) {
+  Encoder enc;
+  enc.put_u8(static_cast<u8>(rep.op));
+  enc.put_u8(rep.ok ? 1 : 0);
+  enc.put_i64(rep.decision);
+  enc.put_u32(rep.decided_over);
+  enc.put_u32(static_cast<u32>(rep.view.size()));
+  for (const mp::SignedAppend& rec : rep.view) encode_record(enc, rec);
+  enc.put_u64(rep.stats.messages_sent);
+  enc.put_u64(rep.stats.bytes_sent);
+  enc.put_u64(rep.stats.view_size);
+  enc.put_u64(rep.stats.appends_issued);
+  enc.put_u64(rep.stats.reconnects);
+  enc.put_u64(rep.stats.auth_rejects);
+  enc.put_u64(rep.stats.sig_rejects);
+  return enc.take();
+}
+
+std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
+  Decoder dec(payload);
+  const auto op = dec.get_u8();
+  const auto ok = dec.get_u8();
+  const auto decision = dec.get_i64();
+  const auto decided_over = dec.get_u32();
+  const auto count = dec.get_u32();
+  if (!dec.ok()) return std::nullopt;
+  if (*op < static_cast<u8>(CtlOp::kAppend) || *op > static_cast<u8>(CtlOp::kKick)) {
+    return std::nullopt;
+  }
+  CtlReply rep;
+  rep.op = static_cast<CtlOp>(*op);
+  rep.ok = (*ok != 0);
+  rep.decision = *decision;
+  rep.decided_over = *decided_over;
+  if (dec.remaining() < static_cast<usize>(*count) * mp::kWireRecordBytes) return std::nullopt;
+  rep.view.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    const auto rec = decode_record(dec);
+    if (!rec) return std::nullopt;
+    rep.view.push_back(*rec);
+  }
+  const auto f = [&dec]() { return dec.get_u64(); };
+  const auto messages = f(), bytes = f(), view_size = f(), appends = f(), reconnects = f(),
+             auth_rejects = f(), sig_rejects = f();
+  if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
+  rep.stats = CtlStats{*messages, *bytes, *view_size, *appends, *reconnects, *auth_rejects,
+                       *sig_rejects};
+  return rep;
+}
+
+// ---- framing ----
+
+void append_frame(std::vector<u8>& out, FrameKind kind, std::span<const u8> payload) {
+  const usize len = 1 + payload.size();  // kind byte + body
+  AMM_EXPECTS(len <= kMaxFrameBytes);
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(len >> (8 * i)));
+  out.push_back(static_cast<u8>(kind));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameStatus extract_frame(std::vector<u8>& buf, Frame* out) {
+  if (buf.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  u32 len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<u32>(buf[static_cast<usize>(i)]) << (8 * i);
+  if (len == 0 || len > kMaxFrameBytes) return FrameStatus::kCorrupt;
+  if (buf.size() < kFrameHeaderBytes + len) return FrameStatus::kNeedMore;
+  const u8 kind = buf[kFrameHeaderBytes];
+  if (kind < static_cast<u8>(FrameKind::kHello) || kind > static_cast<u8>(FrameKind::kCtlRep)) {
+    return FrameStatus::kCorrupt;
+  }
+  out->kind = static_cast<FrameKind>(kind);
+  out->payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + 1),
+                      buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + len));
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + len));
+  return FrameStatus::kFrame;
+}
+
+}  // namespace amm::net

@@ -1,0 +1,163 @@
+// Length-prefixed binary codec for the TCP transport (src/net/).
+//
+// Every frame on a connection is
+//
+//   [u32 len][u8 frame kind][body]            (little-endian throughout)
+//
+// where `len` counts the frame kind byte plus the body. Frame kinds:
+//
+//   kHello    — authentication handshake: {magic, node_id, nonce, sig}
+//               where sig is the sender's KeyRegistry signature over
+//               digest(magic, node_id, nonce) (Lemma 4.1 on the wire:
+//               a peer that cannot sign as node v cannot speak as v).
+//   kMsg      — one mp::WireMessage, encoded field by field with the
+//               fixed widths of mp/wire.hpp. encode_message().size() ==
+//               WireMessage::wire_size() for every kind, by construction
+//               and pinned by tests/net/codec_test.cpp.
+//   kCtlReq / kCtlRep — the amm_ctl control plane (append/read/decide/
+//               stats/kick), unauthenticated and local-operator only.
+//
+// decode_* functions are total: any truncated or corrupted input yields
+// std::nullopt, never UB (fuzzed under the ASan/UBSan matrix).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mp/wire.hpp"
+
+namespace amm::net {
+
+inline constexpr u32 kWireMagic = 0x414d4d31;  // "AMM1"
+inline constexpr usize kFrameHeaderBytes = 4;  // the u32 length prefix
+/// Frames larger than this are rejected as corrupt before allocation.
+inline constexpr usize kMaxFrameBytes = 64u << 20;
+
+enum class FrameKind : u8 { kHello = 1, kMsg = 2, kCtlReq = 3, kCtlRep = 4 };
+
+/// Incremental little-endian writer.
+class Encoder {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u32(u32 v);
+  void put_u64(u64 v);
+  void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
+
+  const std::vector<u8>& bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+/// Incremental bounds-checked little-endian reader. Every getter returns
+/// nullopt once the input is exhausted; `ok()` goes false and stays false.
+class Decoder {
+ public:
+  explicit Decoder(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  std::optional<u8> get_u8();
+  std::optional<u32> get_u32();
+  std::optional<u64> get_u64();
+  std::optional<i64> get_i64();
+
+  bool ok() const { return ok_; }
+  usize remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- mp::WireMessage / mp::SignedAppend ----
+
+void encode_record(Encoder& enc, const mp::SignedAppend& rec);
+std::optional<mp::SignedAppend> decode_record(Decoder& dec);
+
+/// Encodes the message payload (no frame header, no frame kind byte).
+/// Postcondition: result.size() == msg.wire_size().
+std::vector<u8> encode_message(const mp::WireMessage& msg);
+
+/// Decodes a message payload; rejects trailing garbage, truncation, bad
+/// kind tags and view counts that do not match the remaining bytes.
+std::optional<mp::WireMessage> decode_message(std::span<const u8> payload);
+
+// ---- handshake ----
+
+struct Hello {
+  NodeId node;
+  u64 nonce = 0;
+  crypto::Signature sig;
+
+  /// The digest the hello signature covers.
+  u64 digest() const;
+};
+
+std::vector<u8> encode_hello(const Hello& hello);
+std::optional<Hello> decode_hello(std::span<const u8> payload);
+
+// ---- control plane (amm_ctl <-> amm_node) ----
+
+enum class CtlOp : u8 {
+  kAppend = 1,  ///< append `value` to the hosted node's register
+  kRead = 2,    ///< M.read(): reply with the merged view
+  kDecide = 3,  ///< run the DAG BA decision rule over a fresh read
+  kStats = 4,   ///< transport + node counters
+  kKick = 5,    ///< close all outbound links (forces reconnect/backoff)
+};
+
+struct CtlRequest {
+  CtlOp op = CtlOp::kStats;
+  i64 value = 0;  ///< kAppend: the value
+  u32 k = 0;      ///< kDecide: the cut size
+};
+
+struct CtlStats {
+  u64 messages_sent = 0;
+  u64 bytes_sent = 0;
+  u64 view_size = 0;
+  u64 appends_issued = 0;
+  u64 reconnects = 0;
+  u64 auth_rejects = 0;
+  u64 sig_rejects = 0;
+};
+
+struct CtlReply {
+  CtlOp op = CtlOp::kStats;
+  bool ok = false;
+  i64 decision = 0;                      ///< kDecide: ±1
+  u32 decided_over = 0;                  ///< kDecide: records considered
+  std::vector<mp::SignedAppend> view;    ///< kRead: the merged view
+  CtlStats stats;                        ///< kStats
+};
+
+std::vector<u8> encode_ctl_request(const CtlRequest& req);
+std::optional<CtlRequest> decode_ctl_request(std::span<const u8> payload);
+std::vector<u8> encode_ctl_reply(const CtlReply& rep);
+std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload);
+
+// ---- framing ----
+
+/// Appends [u32 len][kind][payload] to `out`.
+void append_frame(std::vector<u8>& out, FrameKind kind, std::span<const u8> payload);
+
+/// One frame extracted from a connection's receive buffer.
+struct Frame {
+  FrameKind kind;
+  std::vector<u8> payload;
+};
+
+enum class FrameStatus : u8 {
+  kFrame,       ///< one complete frame extracted
+  kNeedMore,    ///< header or body incomplete — read more bytes
+  kCorrupt,     ///< oversized length or unknown kind — drop the connection
+};
+
+/// Extracts the next complete frame from the front of `buf`, consuming its
+/// bytes. kNeedMore leaves `buf` untouched.
+FrameStatus extract_frame(std::vector<u8>& buf, Frame* out);
+
+}  // namespace amm::net

@@ -1,0 +1,51 @@
+// The DAG BA decision rule (§5.3, Algorithm 6, lines 8–9) applied to a
+// replicated ABD view.
+//
+// Algorithm 6 decides on the sign of the sum of the first k values in the
+// canonical ordering of the DAG. Over the §4 replicated memory the common
+// ordering is supplied by the replication itself: every completed append
+// is in every subsequent read (Lemma 4.2), and the canonical linearization
+// below — by (seq, author), the wire analogue of height-then-tie-break —
+// is a pure function of the record set. Two correct nodes whose reads both
+// cover the first k records therefore decide identically, which is exactly
+// what the loopback cluster test asserts across survivors. (Wire records
+// do not yet carry DAG references; when they do, this rule upgrades to the
+// pivot-chain linearization of chain/rules.hpp.)
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "mp/wire.hpp"
+
+namespace amm::net {
+
+struct Decision {
+  i64 sign = 0;       ///< ±1 (Algorithm 6's output); 0 when the view is empty
+  u32 decided_over = 0;  ///< records actually summed: min(k, view size)
+};
+
+/// Canonical linearization key: height (seq) first, author as tie-break.
+inline bool canonical_before(const mp::SignedAppend& a, const mp::SignedAppend& b) {
+  if (a.seq != b.seq) return a.seq < b.seq;
+  if (a.author != b.author) return a.author.index < b.author.index;
+  return a.value < b.value;
+}
+
+/// Decides on the sign of the sum of the first k values of the canonical
+/// ordering of `view`. Values map to votes by sign (the paper's inputs are
+/// {-1, +1}; arbitrary i64 values vote by their sign, ties toward +1).
+inline Decision decide_first_k(std::vector<mp::SignedAppend> view, u32 k) {
+  Decision decision;
+  if (view.empty() || k == 0) return decision;
+  const usize cut = std::min<usize>(k, view.size());
+  std::partial_sort(view.begin(), view.begin() + static_cast<std::ptrdiff_t>(cut), view.end(),
+                    canonical_before);
+  i64 sum = 0;
+  for (usize i = 0; i < cut; ++i) sum += view[i].value >= 0 ? 1 : -1;
+  decision.sign = vote_value(sign_decision(sum));
+  decision.decided_over = static_cast<u32>(cut);
+  return decision;
+}
+
+}  // namespace amm::net

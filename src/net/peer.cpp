@@ -1,0 +1,46 @@
+#include "net/peer.hpp"
+
+#include <algorithm>
+
+namespace amm::net {
+
+Hello make_hello(NodeId self, u64 nonce, const crypto::KeyRegistry& keys) {
+  Hello hello;
+  hello.node = self;
+  hello.nonce = nonce;
+  hello.sig = keys.sign(self, hello.digest());
+  return hello;
+}
+
+bool verify_hello(const Hello& hello, u32 node_count, const crypto::KeyRegistry& keys) {
+  if (hello.node.index >= node_count) return false;
+  if (hello.sig.signer != hello.node) return false;
+  return keys.verify(hello.digest(), hello.sig);
+}
+
+Admission validate_message(mp::WireMessage& msg, NodeId from, const crypto::KeyRegistry& keys,
+                           u64* filtered) {
+  switch (msg.kind) {
+    case mp::WireMessage::Kind::kAppend:
+      if (msg.append.sig.signer != msg.append.author) return Admission::kReject;
+      if (!keys.verify(msg.append.digest(), msg.append.sig)) return Admission::kReject;
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kAck:
+      if (msg.ack_sig.signer != from) return Admission::kReject;
+      if (!keys.verify(msg.append.digest(), msg.ack_sig)) return Admission::kReject;
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kReadReq:
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kReadReply: {
+      const auto invalid = [&keys](const mp::SignedAppend& rec) {
+        return rec.sig.signer != rec.author || !keys.verify(rec.digest(), rec.sig);
+      };
+      const auto removed = std::erase_if(msg.view, invalid);
+      if (filtered != nullptr) *filtered += removed;
+      return Admission::kDeliver;
+    }
+  }
+  return Admission::kReject;
+}
+
+}  // namespace amm::net

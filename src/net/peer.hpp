@@ -1,0 +1,75 @@
+// Peer sessions and wire-level admission control for the TCP transport.
+//
+// A Session owns one TCP connection's buffered state (receive buffer,
+// outbound byte queue, handshake progress). Inbound protocol sessions must
+// open with a valid kHello frame — a signature over the hello digest that
+// only the claimed node's key can produce — before any kMsg frame is
+// dispatched; transport sessions that fail authentication are dropped.
+//
+// validate_message() additionally enforces Lemma 4.1 at the wire: append
+// records and acks whose signatures do not verify are rejected before the
+// protocol handler ever sees them, and read replies are filtered down to
+// their validly-signed records. AbdNode re-checks on its own layer — the
+// wire check exists so a compromised peer cannot even spend handler CPU.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "crypto/signature.hpp"
+#include "net/codec.hpp"
+
+namespace amm::net {
+
+enum class SessionState : u8 {
+  kAwaitingHello,  ///< inbound, first frame not yet seen
+  kProtocol,       ///< authenticated node-to-node session
+  kCtl,            ///< control-plane client (amm_ctl)
+  kClosed,
+};
+
+/// One live connection. The transport owns the fd and the poll
+/// registration; the Session owns every buffered byte.
+struct Session {
+  int fd = -1;
+  u64 id = 0;  ///< transport-unique session id (ctl reply routing)
+  SessionState state = SessionState::kAwaitingHello;
+  NodeId peer;            ///< valid once state == kProtocol
+  bool outbound = false;  ///< we dialed it (receive side still accepted)
+  std::vector<u8> rx;
+  /// Outbound queue, one encoded frame per entry. Frame granularity
+  /// matters: when a connection dies, every frame that did not fully
+  /// leave the socket can be salvaged for the next connection — a frame
+  /// the remote only partially received was, by the framing discipline,
+  /// never delivered, so resending it whole cannot duplicate.
+  std::deque<std::vector<u8>> tx;
+  usize tx_off = 0;  ///< bytes of tx.front() already written
+
+  bool wants_write() const { return !tx.empty(); }
+  void queue_frame(std::vector<u8> frame) { tx.push_back(std::move(frame)); }
+};
+
+/// Outcome of wire-level admission of one decoded message.
+enum class Admission : u8 {
+  kDeliver,   ///< hand to the protocol handler (possibly with view filtered)
+  kReject,    ///< drop the message, keep the session
+};
+
+/// Builds the hello this endpoint sends when dialing peer connections.
+Hello make_hello(NodeId self, u64 nonce, const crypto::KeyRegistry& keys);
+
+/// Verifies an inbound hello: magic already checked by the decoder; the
+/// signature must be the claimed node's signature over the hello digest,
+/// and the claimed node id must be inside the cluster.
+bool verify_hello(const Hello& hello, u32 node_count, const crypto::KeyRegistry& keys);
+
+/// Lemma 4.1 at the wire. kAppend: author signature must verify and the
+/// signer must equal the author. kAck: the ack signature must verify and
+/// the signer must equal the session's authenticated peer (an acker cannot
+/// vote in someone else's name). kReadReply: invalidly signed records are
+/// removed from msg.view in place (`*filtered` counts them); the reply
+/// itself is still delivered. kReadReq carries no signature.
+Admission validate_message(mp::WireMessage& msg, NodeId from, const crypto::KeyRegistry& keys,
+                           u64* filtered);
+
+}  // namespace amm::net

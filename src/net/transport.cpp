@@ -1,0 +1,510 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace amm::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Numeric IPv4 only (plus "localhost"); cluster configs are addresses,
+/// not names — DNS has no place inside the reactor.
+bool resolve(const Endpoint& ep, sockaddr_in* out) {
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(ep.port);
+  const char* host = ep.host == "localhost" ? "127.0.0.1" : ep.host.c_str();
+  return ::inet_pton(AF_INET, host, &out->sin_addr) == 1;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TransportConfig config, const crypto::KeyRegistry& keys, Rng rng)
+    : config_(std::move(config)), keys_(&keys), rng_(rng), links_(config_.peers.size()) {
+  AMM_EXPECTS(!config_.peers.empty());
+  AMM_EXPECTS(config_.self.index < config_.peers.size());
+  AMM_EXPECTS(keys.node_count() >= node_count());
+}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+bool TcpTransport::start() {
+  AMM_EXPECTS(listen_fd_ < 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  if (!resolve(config_.peers[config_.self.index], &addr)) {
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  listen_port_ = ntohs(bound.sin_port);
+  return true;
+}
+
+void TcpTransport::set_peer_endpoint(NodeId id, Endpoint endpoint) {
+  AMM_EXPECTS(id.index < config_.peers.size());
+  config_.peers[id.index] = std::move(endpoint);
+}
+
+void TcpTransport::connect_peers() {
+  dialing_ = true;
+  for (u32 i = 0; i < node_count(); ++i) {
+    if (i == config_.self.index) continue;
+    if (!links_[i].session && !links_[i].connecting) dial(i);
+  }
+}
+
+void TcpTransport::attach(NodeId id, Handler handler) {
+  AMM_EXPECTS(id == config_.self);  // a TCP transport hosts exactly one node
+  handler_ = std::move(handler);
+}
+
+void TcpTransport::send(NodeId from, NodeId to, mp::WireMessage msg) {
+  AMM_EXPECTS(from == config_.self);
+  AMM_EXPECTS(to.index < node_count());
+  ++messages_sent_;
+  bytes_sent_ += msg.wire_size();
+  if (to == config_.self) {
+    local_.emplace_back(from, std::move(msg));
+    return;
+  }
+  std::vector<u8> frame;
+  const std::vector<u8> payload = encode_message(msg);
+  frame.reserve(kFrameHeaderBytes + 1 + payload.size());
+  append_frame(frame, FrameKind::kMsg, payload);
+  queue_frame_to_peer(to.index, std::move(frame));
+}
+
+void TcpTransport::broadcast(NodeId from, const mp::WireMessage& msg) {
+  for (u32 to = 0; to < node_count(); ++to) send(from, NodeId{to}, msg);
+}
+
+void TcpTransport::queue_frame_to_peer(u32 peer_index, std::vector<u8> frame) {
+  Link& link = links_[peer_index];
+  if (link.session && link.session->state != SessionState::kClosed && !link.connecting) {
+    link.session->queue_frame(std::move(frame));
+    return;
+  }
+  // Link down: hold the frame for the next (re)connect, oldest out first.
+  if (link.pending.size() >= config_.max_pending_frames_per_peer) {
+    link.pending.pop_front();
+    ++frames_dropped_;
+  }
+  link.pending.push_back(std::move(frame));
+}
+
+void TcpTransport::dial(u32 peer_index) {
+  Link& link = links_[peer_index];
+  link.connecting = false;
+  sockaddr_in addr{};
+  if (!resolve(config_.peers[peer_index], &addr)) {
+    on_link_down(link);
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0 || !set_nonblocking(fd)) {
+    if (fd >= 0) ::close(fd);
+    on_link_down(link);
+    return;
+  }
+  set_nodelay(fd);
+  auto session = std::make_unique<Session>();
+  session->fd = fd;
+  session->id = next_session_id_++;
+  session->outbound = true;
+  session->peer = NodeId{peer_index};
+  session->state = SessionState::kProtocol;
+  link.session = std::move(session);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    on_link_connected(link, peer_index);
+  } else if (errno == EINPROGRESS) {
+    link.connecting = true;
+  } else {
+    link.session.reset();
+    ::close(fd);
+    on_link_down(link);
+  }
+}
+
+void TcpTransport::on_link_connected(Link& link, u32 peer_index) {
+  (void)peer_index;
+  link.connecting = false;
+  if (link.ever_connected) ++reconnects_;
+  link.ever_connected = true;
+  link.attempts = 0;
+  // Authenticate first, then flush everything queued while the link was
+  // down — FIFO, so per-peer ordering is preserved across reconnects.
+  const Hello hello = make_hello(config_.self, rng_.next(), *keys_);
+  std::vector<u8> frame;
+  append_frame(frame, FrameKind::kHello, encode_hello(hello));
+  link.session->queue_frame(std::move(frame));
+  while (!link.pending.empty()) {
+    link.session->queue_frame(std::move(link.pending.front()));
+    link.pending.pop_front();
+  }
+}
+
+void TcpTransport::on_link_down(Link& link) {
+  if (link.session) {
+    // Salvage undelivered frames for the next connection: a frame that did
+    // not fully leave the socket was never delivered (partial frames are
+    // discarded by the receiver), so it re-queues ahead of newer pending
+    // traffic. The stale hello is dropped — every connection opens its own.
+    Session& session = *link.session;
+    while (!session.tx.empty()) {
+      std::vector<u8> frame = std::move(session.tx.back());
+      session.tx.pop_back();
+      const bool is_hello = frame.size() > kFrameHeaderBytes &&
+                            frame[kFrameHeaderBytes] == static_cast<u8>(FrameKind::kHello);
+      if (!is_hello) link.pending.push_front(std::move(frame));
+    }
+    while (link.pending.size() > config_.max_pending_frames_per_peer) {
+      link.pending.pop_front();
+      ++frames_dropped_;
+    }
+    close_session(session);
+    link.session.reset();
+  }
+  link.connecting = false;
+  ++link.attempts;
+  link.next_attempt = Clock::now() + backoff_delay(link.attempts);
+}
+
+std::chrono::milliseconds TcpTransport::backoff_delay(u32 attempts) {
+  const u32 shift = std::min(attempts > 0 ? attempts - 1 : 0u, 16u);
+  auto delay = config_.backoff_base * (1u << shift);
+  delay = std::min(delay, config_.backoff_max);
+  // Jitter in [0.5, 1.0): desynchronizes a restarted cluster.
+  const double jitter = 0.5 + 0.5 * rng_.uniform();
+  return std::chrono::milliseconds(
+      std::max<i64>(1, static_cast<i64>(static_cast<double>(delay.count()) * jitter)));
+}
+
+void TcpTransport::kick_outbound() {
+  // Deferred to the top of the next poll_once: a kick arriving from a ctl
+  // handler mid-dispatch must not destroy sessions the poll loop still
+  // holds pointers to.
+  kick_requested_ = true;
+}
+
+u32 TcpTransport::connected_outbound() const {
+  u32 up = 0;
+  for (const Link& link : links_) {
+    if (link.session && !link.connecting) ++up;
+  }
+  return up;
+}
+
+void TcpTransport::accept_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error — poll again later
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    set_nodelay(fd);
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    session->id = next_session_id_++;
+    session->state = SessionState::kAwaitingHello;
+    inbound_.push_back(std::move(session));
+  }
+}
+
+bool TcpTransport::read_session(Session& session) {
+  u8 chunk[65536];
+  for (;;) {
+    const ssize_t n = ::recv(session.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      session.rx.insert(session.rx.end(), chunk, chunk + n);
+      if (static_cast<usize>(n) < sizeof(chunk)) break;
+    } else if (n == 0) {
+      return false;  // orderly shutdown
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+  return drain_frames(session);
+}
+
+bool TcpTransport::drain_frames(Session& session) {
+  for (;;) {
+    Frame frame;
+    switch (extract_frame(session.rx, &frame)) {
+      case FrameStatus::kNeedMore:
+        return true;
+      case FrameStatus::kCorrupt:
+        return false;
+      case FrameStatus::kFrame:
+        if (!handle_frame(session, frame)) return false;
+        break;
+    }
+  }
+}
+
+bool TcpTransport::handle_frame(Session& session, Frame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kHello: {
+      if (session.state != SessionState::kAwaitingHello) return false;
+      const auto hello = decode_hello(frame.payload);
+      if (!hello || !verify_hello(*hello, node_count(), *keys_) ||
+          hello->node == config_.self) {
+        ++auth_rejects_;
+        return false;  // unauthenticated peer: drop the connection
+      }
+      session.state = SessionState::kProtocol;
+      session.peer = hello->node;
+      return true;
+    }
+    case FrameKind::kMsg: {
+      if (session.state != SessionState::kProtocol || session.outbound) return false;
+      auto msg = decode_message(frame.payload);
+      if (!msg) return false;  // corrupt payload: drop the connection
+      // Lemma 4.1 on the wire: invalid signatures never reach the handler.
+      if (validate_message(*msg, session.peer, *keys_, &sig_rejects_) == Admission::kReject) {
+        ++sig_rejects_;
+        return true;  // reject the message, keep the session
+      }
+      if (handler_) handler_(session.peer, *msg);
+      return true;
+    }
+    case FrameKind::kCtlReq: {
+      if (session.state == SessionState::kAwaitingHello) session.state = SessionState::kCtl;
+      if (session.state != SessionState::kCtl) return false;
+      const auto req = decode_ctl_request(frame.payload);
+      if (!req) return false;
+      if (ctl_handler_) ctl_handler_(session.id, *req);
+      return true;
+    }
+    case FrameKind::kCtlRep:
+      return false;  // servers never receive replies
+  }
+  return false;
+}
+
+void TcpTransport::send_ctl_reply(u64 session_id, const CtlReply& reply) {
+  for (const auto& session : inbound_) {
+    if (session->id == session_id && session->state == SessionState::kCtl) {
+      std::vector<u8> frame;
+      append_frame(frame, FrameKind::kCtlRep, encode_ctl_reply(reply));
+      session->queue_frame(std::move(frame));
+      flush_session(*session);
+      return;
+    }
+  }
+}
+
+void TcpTransport::flush_session(Session& session) {
+  while (!session.tx.empty()) {
+    const std::vector<u8>& front = session.tx.front();
+    while (session.tx_off < front.size()) {
+      const ssize_t n = ::send(session.fd, front.data() + session.tx_off,
+                               front.size() - session.tx_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        session.tx_off += static_cast<usize>(n);
+      } else {
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        session.state = SessionState::kClosed;  // EPIPE/ECONNRESET etc.
+        return;
+      }
+    }
+    session.tx.pop_front();
+    session.tx_off = 0;
+  }
+}
+
+void TcpTransport::deliver_local() {
+  while (!local_.empty()) {
+    auto [from, msg] = std::move(local_.front());
+    local_.pop_front();
+    if (handler_) handler_(from, msg);
+  }
+}
+
+void TcpTransport::close_session(Session& session) {
+  if (session.fd >= 0) {
+    ::close(session.fd);
+    session.fd = -1;
+  }
+  session.state = SessionState::kClosed;
+}
+
+void TcpTransport::poll_once(std::chrono::milliseconds max_wait) {
+  deliver_local();
+
+  if (kick_requested_) {
+    kick_requested_ = false;
+    for (Link& link : links_) {
+      if (link.session || link.connecting) on_link_down(link);
+    }
+  }
+
+  // Redial any link whose backoff deadline has passed.
+  const auto now = Clock::now();
+  if (dialing_) {
+    for (u32 i = 0; i < node_count(); ++i) {
+      Link& link = links_[i];
+      if (i == config_.self.index || link.session || link.connecting) continue;
+      if (now >= link.next_attempt) dial(i);
+    }
+  }
+
+  // Assemble the poll set: listener, outbound links, inbound sessions.
+  std::vector<pollfd> fds;
+  std::vector<Session*> owners;
+  if (listen_fd_ >= 0) {
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    owners.push_back(nullptr);
+  }
+  for (Link& link : links_) {
+    if (!link.session) continue;
+    const bool out = link.connecting || link.session->wants_write();
+    fds.push_back(pollfd{link.session->fd, static_cast<short>(out ? POLLIN | POLLOUT : POLLIN), 0});
+    owners.push_back(link.session.get());
+  }
+  for (const auto& session : inbound_) {
+    const bool out = session->wants_write();
+    fds.push_back(pollfd{session->fd, static_cast<short>(out ? POLLIN | POLLOUT : POLLIN), 0});
+    owners.push_back(session.get());
+  }
+
+  // Cap the wait at the next reconnect deadline so backoff fires on time.
+  i64 wait_ms = max_wait.count();
+  if (dialing_) {
+    for (u32 i = 0; i < node_count(); ++i) {
+      const Link& link = links_[i];
+      if (i == config_.self.index || link.session || link.connecting) continue;
+      const auto until =
+          std::chrono::duration_cast<std::chrono::milliseconds>(link.next_attempt - now).count();
+      wait_ms = std::clamp<i64>(until, 0, wait_ms);
+    }
+  }
+  if (!local_.empty()) wait_ms = 0;
+
+  const int ready = ::poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
+  if (ready > 0) {
+    for (usize i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (owners[i] == nullptr) {
+        accept_ready();
+        continue;
+      }
+      Session& session = *owners[i];
+      if (session.state == SessionState::kClosed) continue;
+      // Outbound connect completion: POLLOUT (or error bits) on a
+      // connecting link resolves the non-blocking connect.
+      if (session.outbound && links_[session.peer.index].connecting) {
+        Link& link = links_[session.peer.index];
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(session.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 || err != 0) {
+          on_link_down(link);
+          continue;
+        }
+        if ((fds[i].revents & POLLOUT) != 0) on_link_connected(link, session.peer.index);
+        continue;
+      }
+      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (fds[i].revents & POLLIN) == 0) {
+        session.state = SessionState::kClosed;
+        continue;
+      }
+      if ((fds[i].revents & POLLIN) != 0 && !read_session(session)) {
+        session.state = SessionState::kClosed;
+        continue;
+      }
+      if ((fds[i].revents & POLLOUT) != 0) flush_session(session);
+    }
+  }
+
+  // Handlers may have produced traffic — flush opportunistically so a
+  // request/reply exchange completes in one poll round-trip per hop.
+  for (Link& link : links_) {
+    if (link.session && !link.connecting && link.session->state != SessionState::kClosed) {
+      flush_session(*link.session);
+    }
+  }
+  for (const auto& session : inbound_) {
+    if (session->state != SessionState::kClosed) flush_session(*session);
+  }
+
+  // Reap dead sessions; downed outbound links enter backoff.
+  for (Link& link : links_) {
+    if (link.session && link.session->state == SessionState::kClosed) on_link_down(link);
+  }
+  std::erase_if(inbound_, [this](const std::unique_ptr<Session>& session) {
+    if (session->state != SessionState::kClosed) return false;
+    if (session->fd >= 0) ::close(session->fd);
+    return true;
+  });
+
+  deliver_local();
+}
+
+void TcpTransport::run_for(std::chrono::milliseconds deadline) {
+  const auto until = Clock::now() + deadline;
+  while (Clock::now() < until) {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(until - Clock::now());
+    poll_once(std::max<std::chrono::milliseconds>(std::chrono::milliseconds(1), left));
+  }
+}
+
+void TcpTransport::stop() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  dialing_ = false;
+  for (Link& link : links_) {
+    if (link.session) close_session(*link.session);
+    link.session.reset();
+    link.connecting = false;
+  }
+  for (const auto& session : inbound_) close_session(*session);
+  inbound_.clear();
+}
+
+}  // namespace amm::net

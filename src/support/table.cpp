@@ -68,6 +68,48 @@ void Table::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+void Table::print_json(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '[';
+    for (usize c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << '"' << json_escape(cells[c]) << '"';
+    }
+    os << ']';
+  };
+  os << "{\"headers\":";
+  print_row(headers_);
+  os << ",\"rows\":[";
+  for (usize r = 0; r < rows_.size(); ++r) {
+    if (r > 0) os << ',';
+    print_row(rows_[r]);
+  }
+  os << "]}";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 multi-byte sequences pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
 std::string fmt(double value, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", prec, value);

@@ -27,10 +27,20 @@ class Table {
   /// Renders as CSV (for machine consumption; pass --csv to the benches).
   void print_csv(std::ostream& os) const;
 
+  /// Renders as a JSON object {"headers": [...], "rows": [[...]]}. Cells
+  /// stay strings — numeric parsing is the consumer's job (collect_bench.py).
+  void print_json(std::ostream& os) const;
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Escapes a string for inclusion inside a JSON string literal.
+std::string json_escape(const std::string& s);
 
 /// Formats a double with `prec` significant decimal digits after the point.
 std::string fmt(double value, int prec = 4);

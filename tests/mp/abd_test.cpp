@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "mp/network.hpp"
+
 namespace amm::mp {
 namespace {
 

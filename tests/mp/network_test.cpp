@@ -80,7 +80,7 @@ TEST(WireMessage, SizesScaleWithView) {
   WireMessage big = small;
   big.view.resize(100);
   EXPECT_GT(big.wire_size(), small.wire_size());
-  EXPECT_EQ(big.wire_size() - small.wire_size(), 100 * 32);
+  EXPECT_EQ(big.wire_size() - small.wire_size(), 100 * kWireRecordBytes);
 }
 
 TEST(SignedAppend, DigestDependsOnAllFields) {

@@ -1,0 +1,241 @@
+// Codec invariants: exact wire_size agreement (the §4/E10 byte accounting
+// is only honest if wire_size() IS the encoding), lossless round-trips,
+// and total rejection of truncated/corrupted input (run under the
+// ASan/UBSan matrix — decode must never read out of bounds).
+#include "net/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/signature.hpp"
+#include "net/peer.hpp"
+#include "support/rng.hpp"
+
+namespace amm::net {
+namespace {
+
+mp::SignedAppend make_record(Rng& rng, u32 node_count) {
+  mp::SignedAppend rec;
+  rec.author = NodeId{static_cast<u32>(rng.uniform_below(node_count))};
+  rec.seq = static_cast<u32>(rng.uniform_below(1u << 20));
+  rec.value = rng.uniform_int(-1'000'000, 1'000'000);
+  rec.sig = crypto::Signature{rec.author, rng.next()};
+  return rec;
+}
+
+mp::WireMessage make_message(Rng& rng, u32 kind_index, usize view_size) {
+  mp::WireMessage msg;
+  msg.kind = static_cast<mp::WireMessage::Kind>(kind_index);
+  msg.append = make_record(rng, 8);
+  msg.ack_sig = crypto::Signature{NodeId{static_cast<u32>(rng.uniform_below(8))}, rng.next()};
+  msg.read_id = rng.next();
+  if (msg.kind == mp::WireMessage::Kind::kReadReply) {
+    for (usize i = 0; i < view_size; ++i) msg.view.push_back(make_record(rng, 8));
+  }
+  return msg;
+}
+
+bool equal(const mp::WireMessage& a, const mp::WireMessage& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case mp::WireMessage::Kind::kAppend:
+      return a.append == b.append && a.append.sig == b.append.sig;
+    case mp::WireMessage::Kind::kAck:
+      return a.append == b.append && a.append.sig == b.append.sig && a.ack_sig == b.ack_sig;
+    case mp::WireMessage::Kind::kReadReq:
+      return a.read_id == b.read_id;
+    case mp::WireMessage::Kind::kReadReply: {
+      if (a.read_id != b.read_id || a.view.size() != b.view.size()) return false;
+      for (usize i = 0; i < a.view.size(); ++i) {
+        if (!(a.view[i] == b.view[i]) || !(a.view[i].sig == b.view[i].sig)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Codec, EncodedSizeEqualsWireSizeForAllKinds) {
+  // The satellite invariant: encode(msg).size() == msg.wire_size() for all
+  // four message kinds, including empty and large views.
+  Rng rng(11);
+  for (u32 kind = 0; kind < 4; ++kind) {
+    for (const usize view_size : {usize{0}, usize{1}, usize{7}, usize{400}}) {
+      const mp::WireMessage msg = make_message(rng, kind, view_size);
+      EXPECT_EQ(encode_message(msg).size(), msg.wire_size())
+          << "kind=" << kind << " view=" << view_size;
+    }
+  }
+}
+
+TEST(Codec, RoundTripAllKinds) {
+  Rng rng(12);
+  for (u32 kind = 0; kind < 4; ++kind) {
+    const mp::WireMessage msg = make_message(rng, kind, 5);
+    const auto decoded = decode_message(encode_message(msg));
+    ASSERT_TRUE(decoded.has_value()) << "kind=" << kind;
+    EXPECT_TRUE(equal(msg, *decoded)) << "kind=" << kind;
+  }
+}
+
+TEST(Codec, FuzzRoundTripRandomMessages) {
+  Rng rng(13);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u32 kind = static_cast<u32>(rng.uniform_below(4));
+    const usize view_size = static_cast<usize>(rng.uniform_below(64));
+    const mp::WireMessage msg = make_message(rng, kind, view_size);
+    const std::vector<u8> bytes = encode_message(msg);
+    const auto decoded = decode_message(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(equal(msg, *decoded));
+    // Re-encoding must be byte-identical (canonical encoding).
+    EXPECT_EQ(encode_message(*decoded), bytes);
+  }
+}
+
+TEST(Codec, FuzzLargeView) {
+  Rng rng(14);
+  const mp::WireMessage msg = make_message(rng, 3, 5000);
+  const auto decoded = decode_message(encode_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->view.size(), 5000u);
+}
+
+TEST(Codec, EveryTruncationRejected) {
+  Rng rng(15);
+  for (u32 kind = 0; kind < 4; ++kind) {
+    const std::vector<u8> bytes = encode_message(make_message(rng, kind, 3));
+    for (usize len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(decode_message(std::span(bytes.data(), len)).has_value())
+          << "kind=" << kind << " len=" << len;
+    }
+  }
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  Rng rng(16);
+  for (u32 kind = 0; kind < 4; ++kind) {
+    std::vector<u8> bytes = encode_message(make_message(rng, kind, 2));
+    bytes.push_back(0xAB);
+    EXPECT_FALSE(decode_message(bytes).has_value()) << "kind=" << kind;
+  }
+}
+
+TEST(Codec, FuzzCorruptionNeverCrashes) {
+  // Flipped bytes either fail decode or yield a message that re-encodes to
+  // the same corrupted bytes — never UB, never a crash.
+  Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    const u32 kind = static_cast<u32>(rng.uniform_below(4));
+    std::vector<u8> bytes = encode_message(make_message(rng, kind, 4));
+    const usize pos = static_cast<usize>(rng.uniform_below(bytes.size()));
+    bytes[pos] ^= static_cast<u8>(1 + rng.uniform_below(255));
+    const auto decoded = decode_message(bytes);
+    if (decoded) {
+      EXPECT_EQ(encode_message(*decoded), bytes);
+    }
+  }
+}
+
+TEST(Codec, LyingViewCountRejected) {
+  Rng rng(18);
+  mp::WireMessage msg = make_message(rng, 3, 3);
+  std::vector<u8> bytes = encode_message(msg);
+  bytes[1 + 8] = 200;  // count field: claims 200 records, carries 3
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Codec, FrameExtraction) {
+  std::vector<u8> wire;
+  const std::vector<u8> p1 = {1, 2, 3};
+  const std::vector<u8> p2 = {};
+  append_frame(wire, FrameKind::kMsg, p1);
+  append_frame(wire, FrameKind::kCtlReq, p2);
+
+  // Feed byte by byte: kNeedMore until each frame completes.
+  std::vector<u8> buf;
+  std::vector<Frame> frames;
+  for (const u8 byte : wire) {
+    buf.push_back(byte);
+    Frame frame;
+    while (extract_frame(buf, &frame) == FrameStatus::kFrame) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].kind, FrameKind::kMsg);
+  EXPECT_EQ(frames[0].payload, p1);
+  EXPECT_EQ(frames[1].kind, FrameKind::kCtlReq);
+  EXPECT_TRUE(frames[1].payload.empty());
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(Codec, FrameCorruptionDetected) {
+  Frame frame;
+  std::vector<u8> oversized = {0xFF, 0xFF, 0xFF, 0xFF, 2};  // 4 GiB length
+  EXPECT_EQ(extract_frame(oversized, &frame), FrameStatus::kCorrupt);
+
+  std::vector<u8> zero_len = {0, 0, 0, 0};
+  EXPECT_EQ(extract_frame(zero_len, &frame), FrameStatus::kCorrupt);
+
+  std::vector<u8> bad_kind;
+  append_frame(bad_kind, FrameKind::kMsg, std::vector<u8>{});
+  bad_kind[4] = 99;  // unknown frame kind
+  EXPECT_EQ(extract_frame(bad_kind, &frame), FrameStatus::kCorrupt);
+}
+
+TEST(Codec, HelloRoundTripAndVerification) {
+  crypto::KeyRegistry keys(4, 77);
+  Hello hello;
+  hello.node = NodeId{2};
+  hello.nonce = 0xDEADBEEF;
+  hello.sig = keys.sign(NodeId{2}, hello.digest());
+
+  const auto decoded = decode_hello(encode_hello(hello));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->node, hello.node);
+  EXPECT_EQ(decoded->nonce, hello.nonce);
+  EXPECT_TRUE(verify_hello(*decoded, 4, keys));
+
+  // Out-of-cluster node id, foreign signer, and forged tag all fail.
+  Hello outside = hello;
+  outside.node = NodeId{9};
+  outside.sig = keys.sign(NodeId{1}, outside.digest());
+  EXPECT_FALSE(verify_hello(outside, 4, keys));
+
+  Hello foreign = hello;
+  foreign.sig = keys.sign(NodeId{1}, foreign.digest());
+  EXPECT_FALSE(verify_hello(foreign, 4, keys));
+
+  Hello forged = hello;
+  forged.sig.tag ^= 1;
+  EXPECT_FALSE(verify_hello(forged, 4, keys));
+}
+
+TEST(Codec, CtlRoundTrips) {
+  const CtlRequest request{CtlOp::kDecide, -7, 31};
+  const auto req = decode_ctl_request(encode_ctl_request(request));
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->op, CtlOp::kDecide);
+  EXPECT_EQ(req->value, -7);
+  EXPECT_EQ(req->k, 31u);
+
+  Rng rng(19);
+  CtlReply reply;
+  reply.op = CtlOp::kRead;
+  reply.ok = true;
+  reply.decision = -1;
+  reply.decided_over = 9;
+  for (int i = 0; i < 5; ++i) reply.view.push_back(make_record(rng, 4));
+  reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7};
+  const auto rep = decode_ctl_reply(encode_ctl_reply(reply));
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->view.size(), 5u);
+  EXPECT_EQ(rep->stats.reconnects, 5u);
+  EXPECT_TRUE(rep->ok);
+
+  // Truncated control frames are rejected, not misread.
+  const std::vector<u8> bytes = encode_ctl_reply(reply);
+  EXPECT_FALSE(decode_ctl_reply(std::span(bytes.data(), bytes.size() - 1)).has_value());
+  EXPECT_FALSE(decode_ctl_request(std::span(bytes.data(), usize{2})).has_value());
+}
+
+}  // namespace
+}  // namespace amm::net

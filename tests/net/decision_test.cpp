@@ -1,0 +1,64 @@
+// Algorithm 6's decision rule over replicated views: a pure function of
+// the record set, so any two nodes holding the same completed appends
+// decide identically regardless of arrival order.
+#include "net/decision.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace amm::net {
+namespace {
+
+mp::SignedAppend rec(u32 author, u32 seq, i64 value) {
+  mp::SignedAppend r;
+  r.author = NodeId{author};
+  r.seq = seq;
+  r.value = value;
+  return r;
+}
+
+TEST(Decision, OrderInsensitive) {
+  std::vector<mp::SignedAppend> view = {rec(0, 0, 1), rec(1, 0, -1), rec(2, 0, 1),
+                                        rec(0, 1, -1), rec(1, 1, 1)};
+  const Decision base = decide_first_k(view, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto shuffled = view;
+    rng.shuffle(shuffled);
+    const Decision d = decide_first_k(shuffled, 3);
+    EXPECT_EQ(d.sign, base.sign);
+    EXPECT_EQ(d.decided_over, base.decided_over);
+  }
+}
+
+TEST(Decision, FirstKByCanonicalOrder) {
+  // seq 0 records come first regardless of insertion order; the k=2 cut is
+  // {(seq0,author0)=+, (seq0,author1)=+} even though later records are −.
+  const std::vector<mp::SignedAppend> view = {rec(1, 1, -5), rec(0, 1, -5), rec(1, 0, 2),
+                                              rec(0, 0, 3)};
+  const Decision d = decide_first_k(view, 2);
+  EXPECT_EQ(d.sign, 1);
+  EXPECT_EQ(d.decided_over, 2u);
+}
+
+TEST(Decision, CutSmallerThanView) {
+  const std::vector<mp::SignedAppend> view = {rec(0, 0, -1), rec(1, 0, -1), rec(2, 0, 7)};
+  EXPECT_EQ(decide_first_k(view, 1).sign, -1);       // only (0,0): negative
+  EXPECT_EQ(decide_first_k(view, 3).decided_over, 3u);
+  EXPECT_EQ(decide_first_k(view, 100).decided_over, 3u);  // clamped to view
+}
+
+TEST(Decision, EmptyViewAndZeroK) {
+  EXPECT_EQ(decide_first_k({}, 5).sign, 0);
+  EXPECT_EQ(decide_first_k({rec(0, 0, 1)}, 0).sign, 0);
+  EXPECT_EQ(decide_first_k({}, 5).decided_over, 0u);
+}
+
+TEST(Decision, TieBreaksTowardPlus) {
+  const std::vector<mp::SignedAppend> view = {rec(0, 0, 1), rec(1, 0, -1)};
+  EXPECT_EQ(decide_first_k(view, 2).sign, 1);  // sum 0 → kPlus by convention
+}
+
+}  // namespace
+}  // namespace amm::net

@@ -1,0 +1,176 @@
+// amm_ctl — submit operations to a running amm_node and print the result.
+//
+//   amm_ctl --port P [--host 127.0.0.1] --op append --value V [--count C]
+//   amm_ctl --port P --op read
+//   amm_ctl --port P --op decide --k K
+//   amm_ctl --port P --op stats
+//   amm_ctl --port P --op kick          # force the node's outbound links down
+//
+// One TCP connection, strict request/reply. `--count C` repeats an append
+// with values V, V+1, …, V+C−1 over the same connection (the loopback
+// cluster test drives its 1000-append run through this). Every reply the
+// node sends reflects a completed quorum operation, so exit status 0 means
+// the cluster actually executed the op, not that it was merely submitted.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "net/codec.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace amm;
+
+int dial(const std::string& host, u16 port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* numeric = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, numeric, &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout{30, 0};  // a stuck quorum must not hang the operator
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+bool send_all(int fd, const std::vector<u8>& bytes) {
+  usize off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<usize>(n);
+  }
+  return true;
+}
+
+bool roundtrip(int fd, const net::CtlRequest& request, net::CtlReply* reply) {
+  std::vector<u8> frame;
+  net::append_frame(frame, net::FrameKind::kCtlReq, net::encode_ctl_request(request));
+  if (!send_all(fd, frame)) return false;
+
+  std::vector<u8> rx;
+  for (;;) {
+    net::Frame received;
+    switch (net::extract_frame(rx, &received)) {
+      case net::FrameStatus::kFrame: {
+        if (received.kind != net::FrameKind::kCtlRep) return false;
+        const auto decoded = net::decode_ctl_reply(received.payload);
+        if (!decoded) return false;
+        *reply = *decoded;
+        return true;
+      }
+      case net::FrameStatus::kCorrupt:
+        return false;
+      case net::FrameStatus::kNeedMore:
+        break;
+    }
+    u8 chunk[65536];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // timeout, reset, or orderly close without a reply
+    }
+    rx.insert(rx.end(), chunk, chunk + n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const u16 port = static_cast<u16>(args.get_int("port", 9500));
+  const std::string op = args.get_string("op", "stats");
+
+  const int fd = dial(host, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "amm_ctl: cannot connect to %s:%u\n", host.c_str(),
+                 static_cast<unsigned>(port));
+    return 2;
+  }
+
+  int status = 0;
+  net::CtlReply reply;
+  if (op == "append") {
+    const i64 value = args.get_int("value", 1);
+    const i64 count = args.get_int("count", 1);
+    i64 completed = 0;
+    for (i64 i = 0; i < count; ++i) {
+      net::CtlRequest request{net::CtlOp::kAppend, value + i, 0};
+      if (!roundtrip(fd, request, &reply) || !reply.ok) {
+        std::fprintf(stderr, "amm_ctl: append %lld/%lld failed\n",
+                     static_cast<long long>(i + 1), static_cast<long long>(count));
+        status = 1;
+        break;
+      }
+      ++completed;
+    }
+    std::printf("appended count=%lld first=%lld\n", static_cast<long long>(completed),
+                static_cast<long long>(value));
+  } else if (op == "read") {
+    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kRead, 0, 0}, &reply) && reply.ok) {
+      std::printf("view count=%zu\n", reply.view.size());
+      for (const mp::SignedAppend& rec : reply.view) {
+        std::printf("record author=%u seq=%u value=%lld\n", rec.author.index, rec.seq,
+                    static_cast<long long>(rec.value));
+      }
+    } else {
+      std::fprintf(stderr, "amm_ctl: read failed\n");
+      status = 1;
+    }
+  } else if (op == "decide") {
+    const u32 k = static_cast<u32>(args.get_int("k", 1));
+    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kDecide, 0, k}, &reply) && reply.ok) {
+      std::printf("decision=%+lld over=%u\n", static_cast<long long>(reply.decision),
+                  reply.decided_over);
+    } else {
+      std::fprintf(stderr, "amm_ctl: decide failed (empty view?)\n");
+      status = 1;
+    }
+  } else if (op == "stats") {
+    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kStats, 0, 0}, &reply) && reply.ok) {
+      std::printf("stats msgs=%llu bytes=%llu view=%llu appends=%llu reconnects=%llu "
+                  "auth_rejects=%llu sig_rejects=%llu\n",
+                  static_cast<unsigned long long>(reply.stats.messages_sent),
+                  static_cast<unsigned long long>(reply.stats.bytes_sent),
+                  static_cast<unsigned long long>(reply.stats.view_size),
+                  static_cast<unsigned long long>(reply.stats.appends_issued),
+                  static_cast<unsigned long long>(reply.stats.reconnects),
+                  static_cast<unsigned long long>(reply.stats.auth_rejects),
+                  static_cast<unsigned long long>(reply.stats.sig_rejects));
+    } else {
+      std::fprintf(stderr, "amm_ctl: stats failed\n");
+      status = 1;
+    }
+  } else if (op == "kick") {
+    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kKick, 0, 0}, &reply) && reply.ok) {
+      std::printf("kicked\n");
+    } else {
+      std::fprintf(stderr, "amm_ctl: kick failed\n");
+      status = 1;
+    }
+  } else {
+    std::fprintf(stderr, "amm_ctl: unknown --op %s (append|read|decide|stats|kick)\n", op.c_str());
+    status = 2;
+  }
+
+  ::close(fd);
+  return status;
+}

@@ -1,0 +1,162 @@
+// amm_node — a real append-memory node: one AbdNode (§4, Algorithms 2–3)
+// hosted behind the poll-based TCP transport, plus the DAG BA decision
+// rule (§5.3, Algorithm 6) served over the control plane.
+//
+//   amm_node --id I --n N [--seed S] [--host 127.0.0.1] [--base-port 9500]
+//
+// Node i listens on base-port+i and dials every other node. All nodes of a
+// cluster must share --n and --seed: the KeyRegistry is derived from them,
+// which is this runtime's stand-in for a deployed PKI (DESIGN.md §2 — the
+// simulated-signature substitution, now enforced on real sockets).
+//
+// Control plane (see amm_ctl): append / read / decide / stats / kick on
+// the same port. Operations run through the full ABD protocol — an append
+// completes only after a majority of the cluster acked it, a read merges a
+// majority of views — so every number amm_ctl prints is a real quorum
+// result, not local state.
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "mp/abd.hpp"
+#include "net/decision.hpp"
+#include "net/transport.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amm;
+
+  const CliArgs args(argc, argv);
+  const u32 n = static_cast<u32>(args.get_int("n", 5));
+  const u32 id = static_cast<u32>(args.get_int("id", 0));
+  const u64 seed = static_cast<u64>(args.get_int("seed", 20200715));
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const u16 base_port = static_cast<u16>(args.get_int("base-port", 9500));
+  if (n == 0 || id >= n) {
+    std::fprintf(stderr, "amm_node: need 0 <= --id < --n\n");
+    return 2;
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  crypto::KeyRegistry keys(n, seed);
+  net::TransportConfig config;
+  config.self = NodeId{id};
+  for (u32 i = 0; i < n; ++i) {
+    config.peers.push_back(net::Endpoint{host, static_cast<u16>(base_port + i)});
+  }
+  net::TcpTransport transport(config, keys, Rng::for_stream(seed, 0x6e6f6465 + id));
+  if (!transport.start()) {
+    std::fprintf(stderr, "amm_node: cannot listen on %s:%u\n", host.c_str(),
+                 static_cast<unsigned>(base_port + id));
+    return 2;
+  }
+
+  mp::AbdNode node(NodeId{id}, transport, keys);
+
+  // Control-plane op queue: the ABD node runs one operation at a time
+  // (Algorithm 2's single outstanding append), so ctl requests serialize.
+  struct PendingCtl {
+    u64 session = 0;
+    net::CtlRequest request;
+  };
+  std::deque<PendingCtl> ctl_queue;
+  bool op_in_flight = false;
+
+  transport.set_ctl_handler([&ctl_queue](u64 session, const net::CtlRequest& request) {
+    ctl_queue.push_back(PendingCtl{session, request});
+  });
+
+  const auto fill_stats = [&] {
+    net::CtlStats stats;
+    stats.messages_sent = transport.messages_sent();
+    stats.bytes_sent = transport.bytes_sent();
+    stats.view_size = node.local_view().size();
+    stats.appends_issued = node.appends_issued();
+    stats.reconnects = transport.reconnects();
+    stats.auth_rejects = transport.auth_rejects();
+    stats.sig_rejects = transport.sig_rejects();
+    return stats;
+  };
+
+  const auto pump_ops = [&] {
+    while (!op_in_flight && !ctl_queue.empty()) {
+      const PendingCtl item = ctl_queue.front();
+      ctl_queue.pop_front();
+      net::CtlReply reply;
+      reply.op = item.request.op;
+      switch (item.request.op) {
+        case net::CtlOp::kAppend:
+          op_in_flight = true;
+          node.begin_append(item.request.value, [&, item] {
+            op_in_flight = false;
+            net::CtlReply done;
+            done.op = net::CtlOp::kAppend;
+            done.ok = true;
+            transport.send_ctl_reply(item.session, done);
+          });
+          break;
+        case net::CtlOp::kRead:
+          op_in_flight = true;
+          node.begin_read([&, item](const std::vector<mp::SignedAppend>& view) {
+            op_in_flight = false;
+            net::CtlReply done;
+            done.op = net::CtlOp::kRead;
+            done.ok = true;
+            done.view = view;
+            transport.send_ctl_reply(item.session, done);
+          });
+          break;
+        case net::CtlOp::kDecide:
+          op_in_flight = true;
+          node.begin_read([&, item](const std::vector<mp::SignedAppend>& view) {
+            op_in_flight = false;
+            const net::Decision decision = net::decide_first_k(view, item.request.k);
+            net::CtlReply done;
+            done.op = net::CtlOp::kDecide;
+            done.ok = decision.decided_over > 0;
+            done.decision = decision.sign;
+            done.decided_over = decision.decided_over;
+            transport.send_ctl_reply(item.session, done);
+          });
+          break;
+        case net::CtlOp::kStats:
+          reply.ok = true;
+          reply.stats = fill_stats();
+          transport.send_ctl_reply(item.session, reply);
+          break;
+        case net::CtlOp::kKick:
+          transport.kick_outbound();
+          reply.ok = true;
+          transport.send_ctl_reply(item.session, reply);
+          break;
+      }
+    }
+  };
+
+  std::printf("amm_node: id=%u n=%u listening on %s:%u\n", id, n, host.c_str(),
+              static_cast<unsigned>(transport.listen_port()));
+  std::fflush(stdout);
+
+  transport.connect_peers();
+  while (g_stop == 0) {
+    transport.poll_once(std::chrono::milliseconds(50));
+    pump_ops();
+  }
+
+  std::printf("amm_node: id=%u shutting down (view=%zu appends=%u)\n", id,
+              node.local_view().size(), node.appends_issued());
+  transport.stop();
+  return 0;
+}

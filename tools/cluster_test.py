@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Loopback cluster integration test for amm_node / amm_ctl.
+
+Spawns n real amm_node processes on 127.0.0.1, drives >= --appends appends
+through amm_ctl, SIGKILLs floor((n-1)/2) nodes mid-run, forces the
+survivors' outbound links down (kick) so reconnect paths are exercised,
+keeps appending, and then asserts the paper's §4 guarantees end-to-end:
+
+  * Lemma 4.2 — every append whose ctl reply reported completion is
+    present in every survivor's subsequent quorum read;
+  * Algorithm 6 — the survivors' DAG BA decisions (sign of the first-k
+    prefix of the canonical record order) agree exactly.
+
+Exit status 0 iff every assertion holds. Registered as the ctest/CI
+`cluster_loopback` job.
+
+Usage:
+  tools/cluster_test.py --bin-dir build/tools [--n 5] [--appends 1000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import re
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+class ClusterError(Exception):
+    pass
+
+
+def log(msg: str) -> None:
+    print(f"[cluster_test] {msg}", flush=True)
+
+
+def read_line(proc: subprocess.Popen, deadline: float) -> str:
+    """Reads one stdout line from proc, raising on timeout or process exit."""
+    fd = proc.stdout.fileno()
+    buf = b""
+    while not buf.endswith(b"\n"):
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise ClusterError(f"timeout waiting for output from pid {proc.pid}")
+        ready, _, _ = select.select([fd], [], [], remaining)
+        if not ready:
+            continue
+        chunk = proc.stdout.read1(4096)
+        if not chunk:
+            raise ClusterError(f"node pid {proc.pid} exited before becoming ready")
+        buf += chunk
+    return buf.decode(errors="replace").splitlines()[0]
+
+
+class Cluster:
+    def __init__(self, bin_dir: Path, n: int, seed: int):
+        self.node_bin = bin_dir / "amm_node"
+        self.ctl_bin = bin_dir / "amm_ctl"
+        self.n = n
+        self.seed = seed
+        self.base_port = 0
+        self.procs: list[subprocess.Popen | None] = []
+
+    def start(self, attempts: int = 10) -> None:
+        rng = random.Random()
+        for _ in range(attempts):
+            self.base_port = rng.randrange(20000, 55000)
+            if self._try_start():
+                return
+        raise ClusterError(f"could not find a free port range in {attempts} attempts")
+
+    def _try_start(self) -> bool:
+        self.procs = []
+        for i in range(self.n):
+            cmd = [str(self.node_bin), "--id", str(i), "--n", str(self.n),
+                   "--seed", str(self.seed), "--base-port", str(self.base_port)]
+            self.procs.append(subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                               stderr=subprocess.STDOUT))
+        deadline = time.monotonic() + 10
+        try:
+            for i, proc in enumerate(self.procs):
+                line = read_line(proc, deadline)
+                if "listening on" not in line:
+                    raise ClusterError(f"node {i} not ready: {line!r}")
+        except ClusterError as err:
+            log(f"startup on base port {self.base_port} failed ({err}); retrying")
+            self.stop_all()
+            return False
+        log(f"{self.n} nodes up on 127.0.0.1:{self.base_port}..{self.base_port + self.n - 1}")
+        return True
+
+    def port(self, i: int) -> int:
+        return self.base_port + i
+
+    def alive(self) -> list[int]:
+        return [i for i, p in enumerate(self.procs) if p is not None]
+
+    def ctl(self, node: int, *op_args: str, timeout: float = 60.0) -> str:
+        cmd = [str(self.ctl_bin), "--port", str(self.port(node)), *op_args]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+        if proc.returncode != 0:
+            raise ClusterError(f"{' '.join(cmd)} -> exit {proc.returncode}: {proc.stderr.strip()}")
+        return proc.stdout
+
+    def kill(self, node: int) -> None:
+        proc = self.procs[node]
+        assert proc is not None
+        proc.send_signal(signal.SIGKILL)
+        proc.wait()
+        proc.stdout.close()
+        self.procs[node] = None
+        log(f"node {node} SIGKILLed")
+
+    def stop_all(self) -> None:
+        for i, proc in enumerate(self.procs):
+            if proc is None:
+                continue
+            proc.terminate()
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            proc.stdout.close()
+            self.procs[i] = None
+
+
+def append_batch(cluster: Cluster, targets: list[int], per_node: int,
+                 next_value: int, completed: set[int]) -> int:
+    """Issues per_node appends to every target concurrently; returns the next
+    unused value. Values are globally unique so each append is identifiable
+    in later reads."""
+    jobs = []
+    for node in targets:
+        cmd = [str(cluster.ctl_bin), "--port", str(cluster.port(node)), "--op", "append",
+               "--value", str(next_value), "--count", str(per_node)]
+        jobs.append((node, next_value, subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                                        stderr=subprocess.STDOUT, text=True)))
+        next_value += per_node
+    for node, first, proc in jobs:
+        out, _ = proc.communicate(timeout=120)
+        match = re.search(r"appended count=(\d+) first=(-?\d+)", out)
+        if proc.returncode != 0 or not match:
+            raise ClusterError(f"append batch on node {node} failed: {out.strip()}")
+        count = int(match.group(1))
+        completed.update(range(first, first + count))
+        if count != per_node:
+            raise ClusterError(f"node {node} completed only {count}/{per_node} appends")
+    return next_value
+
+
+def read_values(cluster: Cluster, node: int) -> list[int]:
+    out = cluster.ctl(node, "--op", "read")
+    return [int(m.group(1)) for m in re.finditer(r"value=(-?\d+)", out)]
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--bin-dir", type=Path, default=Path("build/tools"))
+    ap.add_argument("--n", type=int, default=5)
+    ap.add_argument("--appends", type=int, default=1000,
+                    help="minimum total completed appends across both phases")
+    ap.add_argument("--seed", type=int, default=20200715)
+    args = ap.parse_args()
+    if args.n < 3:
+        sys.exit("error: need --n >= 3 for a meaningful minority crash")
+
+    cluster = Cluster(args.bin_dir, args.n, args.seed)
+    cluster.start()
+    completed: set[int] = set()
+    try:
+        # Phase 1: appends through every node (authors include the nodes
+        # that will be killed — their completed records must still survive).
+        phase1_per_node = (args.appends * 6 // 10) // args.n + 1
+        value = append_batch(cluster, list(range(args.n)), phase1_per_node, 1, completed)
+        log(f"phase 1: {len(completed)} appends completed across {args.n} nodes")
+
+        # Crash a minority mid-run: floor((n-1)/2) highest-numbered nodes.
+        for node in range(args.n - (args.n - 1) // 2, args.n):
+            cluster.kill(node)
+        survivors = cluster.alive()
+
+        # Force every survivor's outbound links down — phase 2 must ride
+        # on reconnected sockets with the backoff/salvage path exercised.
+        for node in survivors:
+            cluster.ctl(node, "--op", "kick")
+        log(f"survivors {survivors} kicked; continuing appends")
+
+        remaining = args.appends - len(completed)
+        phase2_per_node = remaining // len(survivors) + 1
+        append_batch(cluster, survivors, phase2_per_node, value, completed)
+        log(f"phase 2: {len(completed)} total appends completed")
+        if len(completed) < args.appends:
+            raise ClusterError(f"only {len(completed)} < {args.appends} appends completed")
+
+        # Lemma 4.2: every completed append is in every survivor's read.
+        for node in survivors:
+            view = read_values(cluster, node)
+            missing = completed - set(view)
+            if missing:
+                raise ClusterError(
+                    f"node {node} read misses {len(missing)} completed appends, "
+                    f"e.g. {sorted(missing)[:5]}")
+            log(f"node {node} read: view={len(view)} contains all {len(completed)} appends")
+
+        # Algorithm 6: identical decisions on every survivor.
+        k = len(completed)
+        decisions = set()
+        for node in survivors:
+            out = cluster.ctl(node, "--op", "decide", "--k", str(k))
+            match = re.search(r"decision=([+-]\d+) over=(\d+)", out)
+            if not match:
+                raise ClusterError(f"node {node} decide output unparseable: {out.strip()}")
+            decisions.add((int(match.group(1)), int(match.group(2))))
+        if len(decisions) != 1:
+            raise ClusterError(f"survivors disagree: {sorted(decisions)}")
+        decision, over = next(iter(decisions))
+        log(f"all survivors decide {decision:+d} over {over} records")
+
+        # The kick above must have produced real reconnects.
+        for node in survivors:
+            out = cluster.ctl(node, "--op", "stats")
+            match = re.search(r"reconnects=(\d+)", out)
+            if not match or int(match.group(1)) < 1:
+                raise ClusterError(f"node {node} shows no reconnects after kick: {out.strip()}")
+
+        log("PASS")
+    except ClusterError as err:
+        log(f"FAIL: {err}")
+        sys.exit(1)
+    finally:
+        cluster.stop_all()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Aggregate the bench/exp_* machine-readable results into one JSON file.
+
+Every experiment binary accepts `--json FILE` and writes a single JSON
+document (title, seed, trials, emitted tables). This driver either runs
+all binaries found in <build>/bench and collects their documents, or
+aggregates pre-existing per-experiment JSON files from a directory, and
+merges everything into BENCH_net.json — the perf baseline the transport
+work is measured against.
+
+Usage:
+  tools/collect_bench.py --build-dir build --out BENCH_net.json [--trials 3]
+  tools/collect_bench.py --from-dir results/ --out BENCH_net.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_experiments(build_dir: Path, trials: int, only: str | None) -> dict[str, dict]:
+    bench_dir = build_dir / "bench"
+    binaries = sorted(p for p in bench_dir.glob("exp_*") if p.is_file())
+    if only:
+        binaries = [p for p in binaries if re.search(only, p.name)]
+    if not binaries:
+        sys.exit(f"error: no exp_* binaries under {bench_dir} (build the repo first)")
+
+    docs: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="amm_bench_") as tmp:
+        for binary in binaries:
+            out_path = Path(tmp) / f"{binary.name}.json"
+            cmd = [str(binary), "--trials", str(trials), "--json", str(out_path)]
+            print(f"[collect_bench] {' '.join(cmd)}", flush=True)
+            proc = subprocess.run(cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+            if proc.returncode != 0:
+                sys.exit(
+                    f"error: {binary.name} exited {proc.returncode}:\n"
+                    f"{proc.stderr.decode(errors='replace')}"
+                )
+            docs[binary.name] = json.loads(out_path.read_text())
+    return docs
+
+
+def load_from_dir(from_dir: Path) -> dict[str, dict]:
+    files = sorted(from_dir.glob("*.json"))
+    if not files:
+        sys.exit(f"error: no .json files in {from_dir}")
+    return {p.stem: json.loads(p.read_text()) for p in files}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", type=Path, default=Path("build"))
+    ap.add_argument("--out", type=Path, default=Path("BENCH_net.json"))
+    ap.add_argument("--trials", type=int, default=3,
+                    help="Monte-Carlo trials per configuration (small default: smoke baseline)")
+    ap.add_argument("--only", help="regex filter on binary names, e.g. 'e10|e16'")
+    ap.add_argument("--from-dir", type=Path,
+                    help="aggregate existing per-experiment JSON files instead of running")
+    args = ap.parse_args()
+
+    if args.from_dir:
+        docs = load_from_dir(args.from_dir)
+    else:
+        docs = run_experiments(args.build_dir, args.trials, args.only)
+
+    merged = {
+        "generated_by": "tools/collect_bench.py",
+        "experiments": {name: docs[name] for name in sorted(docs)},
+    }
+    args.out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    total_tables = sum(len(d.get("tables", [])) for d in docs.values())
+    print(f"[collect_bench] wrote {args.out}: {len(docs)} experiments, {total_tables} tables")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,18 +4,21 @@
 Enforces the handful of rules the compiler cannot check but the paper's
 reproduction depends on (docs/ANALYSIS.md):
 
-  banned-rand       no std::rand/srand/time(nullptr) seeding in src/ —
-                    every random draw must come from support/rng.hpp so
-                    trials are reproducible per (master seed, stream).
-  banned-sleep      no wall-clock sleeps in src/ — simulated time is the
-                    only clock; a sleep makes results machine-dependent.
+  banned-rand       no std::rand/srand/time(nullptr) seeding in src/ or
+                    tools/ — every random draw must come from
+                    support/rng.hpp so trials are reproducible per
+                    (master seed, stream).
+  banned-sleep      no wall-clock sleeps in src/ or tools/ — simulated
+                    time (or the transport's poll deadline) is the only
+                    clock; a sleep makes results machine-dependent.
   unordered-iter    no range-for iteration over std::unordered_* containers
-                    in src/ — their order is implementation-defined, so any
-                    protocol decision fed from it is nondeterministic.
-                    Suppress a deliberate order-insensitive fold with
+                    in src/ or tools/ — their order is
+                    implementation-defined, so any protocol decision fed
+                    from it is nondeterministic. Suppress a deliberate
+                    order-insensitive fold with
                     `// lint:allow(unordered-iter)` on the loop line.
-  pragma-once       every header under src/ starts with `#pragma once`
-                    before its first #include.
+  pragma-once       every header under src/ or tools/ starts with
+                    `#pragma once` before its first #include.
   include-order     within a file, system includes (<...>) precede project
                     includes ("..."); a .cpp may lead with its own header.
   no-artifacts      no build artifacts tracked by git (build*/, *.o,
@@ -216,14 +219,18 @@ def lint_file(path: str, display_path: str | None = None) -> List[Violation]:
     return violations
 
 
+LINT_DIRS = ("src", "tools")
+
+
 def lint_tree(root: str) -> List[Violation]:
     violations: List[Violation] = []
-    src = os.path.join(root, "src")
-    for dirpath, _dirnames, filenames in os.walk(src):
-        for fn in sorted(filenames):
-            if fn.endswith(SOURCE_EXTS):
-                full = os.path.join(dirpath, fn)
-                violations.extend(lint_file(full, os.path.relpath(full, root)))
+    for top in LINT_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            dirnames[:] = [d for d in dirnames if d != "CMakeFiles"]  # stray build litter
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, fn)
+                    violations.extend(lint_file(full, os.path.relpath(full, root)))
     violations.extend(check_no_artifacts(root))
     return violations
 
