@@ -1,0 +1,199 @@
+// Hot-path benchmark for the incremental append-memory machinery: graph
+// growth (extend vs from-scratch rebuild), append-time ordering (k-way
+// merge vs full sort vs incremental cursor) and the decision rules on the
+// final graph. Emits harness tables; `--json` output is aggregated into the
+// pinned BENCH_sim.json baseline by tools/collect_bench.py and compared by
+// tools/bench_diff.py.
+//
+// Extra knobs (all optional):
+//   --max-history N   cap per-config history length   (default 100000)
+//   --rounds R        observation rounds per trial    (default 64)
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "am/memory.hpp"
+#include "am/order.hpp"
+#include "chain/rules.hpp"
+#include "exp/harness.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace amm;
+
+/// Defeats dead-code elimination without google-benchmark.
+volatile u64 g_sink = 0;  // NOLINT(cppcoreguidelines-avoid-non-const-global-variables)
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`reps` wall time of `fn`, in milliseconds.
+template <typename Fn>
+double time_ms(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    fn();
+    best = std::min(best, now_seconds() - t0);
+  }
+  return best * 1e3;
+}
+
+/// Random DAG history: each append references up to 3 recent blocks (the
+/// shape the dag_ba protocol produces), timestamps strictly increasing.
+am::AppendMemory build_history(u32 n, u32 history, u64 seed) {
+  am::AppendMemory memory(n);
+  Rng rng(seed);
+  std::vector<am::MsgId> all;
+  all.reserve(history);
+  for (u32 i = 0; i < history; ++i) {
+    std::vector<am::MsgId> refs;
+    if (!all.empty()) {
+      const u32 want = 1 + static_cast<u32>(rng.uniform_below(3));
+      for (u32 r = 0; r < want; ++r) {
+        const am::MsgId pick =
+            all[all.size() - 1 - rng.uniform_below(std::min<usize>(all.size(), 8))];
+        if (std::find(refs.begin(), refs.end(), pick) == refs.end()) refs.push_back(pick);
+      }
+    }
+    all.push_back(memory.append(NodeId{static_cast<u32>(rng.uniform_below(n))}, Vote::kPlus,
+                                /*payload=*/0, std::move(refs), static_cast<SimTime>(i + 1)));
+  }
+  return memory;
+}
+
+/// The growing views a protocol observes: `rounds` evenly spaced prefixes
+/// of the history, ending at the full view.
+std::vector<am::MemoryView> observation_views(const am::AppendMemory& memory, u32 history,
+                                              u32 rounds) {
+  std::vector<am::MemoryView> views;
+  views.reserve(rounds);
+  for (u32 r = 1; r <= rounds; ++r) {
+    const SimTime horizon =
+        static_cast<SimTime>(history) * static_cast<double>(r) / static_cast<double>(rounds) +
+        0.5;
+    views.push_back(memory.read_at(horizon));
+  }
+  views.back() = memory.read();
+  return views;
+}
+
+int reps_for(u32 history) { return history <= 2000 ? 5 : history <= 20000 ? 3 : 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Harness h(argc, argv, "Hot paths — incremental graph, ordering, decision rules", 1);
+  const u32 max_history = static_cast<u32>(h.args.get_int("max-history", 100000));
+  const u32 rounds = static_cast<u32>(h.args.get_int("rounds", 64));
+
+  const std::vector<u32> ns = {8, 32, 128};
+  std::vector<u32> histories;
+  for (const u32 cand : {1000u, 10000u, 100000u}) {
+    if (cand <= max_history) histories.push_back(cand);
+  }
+  if (histories.empty()) histories.push_back(max_history);
+
+  // --- Graph growth: carry-and-extend vs rebuild-per-round -------------
+  Table growth({"n", "history", "rounds", "extend [ms]", "rebuild [ms]", "speedup"});
+  for (const u32 n : ns) {
+    for (const u32 history : histories) {
+      const am::AppendMemory memory = build_history(n, history, h.seed);
+      const std::vector<am::MemoryView> views = observation_views(memory, history, rounds);
+      const int reps = reps_for(history);
+
+      const double extend_ms = time_ms(reps, [&] {
+        chain::BlockGraph graph;
+        for (const am::MemoryView& v : views) {
+          graph.extend(v);
+          g_sink = g_sink + graph.max_depth();
+        }
+      });
+      const double rebuild_ms = time_ms(reps, [&] {
+        for (const am::MemoryView& v : views) {
+          const chain::BlockGraph graph(v);
+          g_sink = g_sink + graph.max_depth();
+        }
+      });
+      growth.add_row({std::to_string(n), std::to_string(history), std::to_string(rounds),
+                      fmt(extend_ms, 3), fmt(rebuild_ms, 3), fmt(rebuild_ms / extend_ms, 2)});
+    }
+  }
+  h.emit(growth, "Graph growth over " + std::to_string(rounds) +
+                     " observation rounds: incremental extend vs from-scratch rebuild:");
+
+  // --- Append-time ordering: merge vs sort vs incremental cursor -------
+  Table ordering({"n", "history", "merge [ms]", "sort [ms]", "cursor [ms]"});
+  for (const u32 n : ns) {
+    for (const u32 history : histories) {
+      const am::AppendMemory memory = build_history(n, history, h.seed + 1);
+      const am::MemoryView view = memory.read();
+      const std::vector<am::MemoryView> views = observation_views(memory, history, rounds);
+      const int reps = reps_for(history);
+
+      const double merge_ms = time_ms(reps, [&] { g_sink = g_sink + view.by_append_time().size(); });
+      // The pre-merge implementation, timed as the baseline it replaced.
+      const double sort_ms = time_ms(reps, [&] {
+        std::vector<am::MsgId> ids;
+        ids.reserve(view.size());
+        for (u32 r = 0; r < view.register_count(); ++r) {
+          for (u32 s = 0; s < view.register_len(r); ++s) ids.push_back(am::MsgId{r, s});
+        }
+        std::stable_sort(ids.begin(), ids.end(), [&](am::MsgId a, am::MsgId b) {
+          const SimTime ta = view.msg(a).appended_at;
+          const SimTime tb = view.msg(b).appended_at;
+          if (ta != tb) return ta < tb;
+          return a < b;
+        });
+        g_sink = g_sink + ids.size();
+      });
+      // Round-r watermark = the read horizon of round r's view: everything
+      // still hidden was appended at or after it.
+      std::vector<SimTime> horizons;
+      horizons.reserve(views.size());
+      for (u32 r = 1; r <= rounds; ++r) {
+        horizons.push_back(static_cast<SimTime>(history) * static_cast<double>(r) /
+                           static_cast<double>(rounds) + 0.5);
+      }
+      const double cursor_ms = time_ms(reps, [&] {
+        am::AppendOrderCursor cursor(memory);
+        std::vector<am::MsgId> out;
+        out.reserve(view.size());
+        for (usize i = 0; i < views.size(); ++i) cursor.drain(views[i], horizons[i], out);
+        cursor.finish(view, out);
+        g_sink = g_sink + out.size();
+      });
+      ordering.add_row({std::to_string(n), std::to_string(history), fmt(merge_ms, 3),
+                        fmt(sort_ms, 3), fmt(cursor_ms, 3)});
+    }
+  }
+  h.emit(ordering,
+         "Append-time ordering of the full history: k-way merge vs the old full "
+         "sort vs round-by-round cursor:");
+
+  // --- Decision rules on the final graph -------------------------------
+  Table rules({"n", "history", "ghost pivot [ms]", "longest pivot [ms]", "linearize [ms]"});
+  for (const u32 n : ns) {
+    for (const u32 history : histories) {
+      const am::AppendMemory memory = build_history(n, history, h.seed + 2);
+      const chain::BlockGraph graph(memory.read());
+      const int reps = reps_for(history);
+
+      const double ghost_ms = time_ms(
+          reps, [&] { g_sink = g_sink + chain::select_pivot(graph, chain::PivotRule::kGhost).size(); });
+      const double longest_ms = time_ms(reps, [&] {
+        g_sink = g_sink + chain::select_pivot(graph, chain::PivotRule::kLongestChain).size();
+      });
+      const double lin_ms = time_ms(reps, [&] {
+        g_sink = g_sink + chain::linearize_dag(graph, chain::PivotRule::kGhost).size();
+      });
+      rules.add_row({std::to_string(n), std::to_string(history), fmt(ghost_ms, 3),
+                     fmt(longest_ms, 3), fmt(lin_ms, 3)});
+    }
+  }
+  h.emit(rules, "Decision rules on the final graph (dense per-author indexing):");
+  return 0;
+}

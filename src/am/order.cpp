@@ -1,0 +1,100 @@
+#include "am/order.hpp"
+
+#include "am/memory.hpp"
+
+namespace amm::am {
+namespace {
+
+struct HeapEntry {
+  SimTime time;
+  MsgId id;
+  bool operator>(const HeapEntry& other) const {
+    if (time != other.time) return time > other.time;
+    return id > other.id;
+  }
+};
+
+}  // namespace
+
+std::vector<MsgId> merge_append_order(const AppendMemory& memory, const std::vector<u32>& from,
+                                      const std::vector<u32>& to) {
+  const u32 regs = static_cast<u32>(to.size());
+  AMM_EXPECTS(from.empty() || from.size() == to.size());
+  AMM_EXPECTS(regs <= memory.node_count());
+
+  usize total = 0;
+  for (u32 r = 0; r < regs; ++r) {
+    const u32 lo = from.empty() ? 0 : from[r];
+    AMM_EXPECTS(lo <= to[r]);
+    total += to[r] - lo;
+  }
+  std::vector<MsgId> out;
+  out.reserve(total);
+  if (total == 0) return out;
+
+  // Each register range is already (appended_at, id)-sorted (append times
+  // are non-decreasing within a register, ids strictly increasing), so a
+  // heap of register heads yields the global order in O(total · log k).
+  std::vector<u32> cursor(regs);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heads;
+  for (u32 r = 0; r < regs; ++r) {
+    cursor[r] = from.empty() ? 0 : from[r];
+    if (cursor[r] < to[r]) {
+      const MsgId id{r, cursor[r]};
+      heads.push(HeapEntry{memory.msg(id).appended_at, id});
+    }
+  }
+  while (!heads.empty()) {
+    const HeapEntry top = heads.top();
+    heads.pop();
+    out.push_back(top.id);
+    const u32 r = top.id.author;
+    if (++cursor[r] < to[r]) {
+      const MsgId id{r, cursor[r]};
+      heads.push(HeapEntry{memory.msg(id).appended_at, id});
+    }
+  }
+  AMM_ENSURES(out.size() == total);
+  return out;
+}
+
+AppendOrderCursor::AppendOrderCursor(const AppendMemory& memory)
+    : memory_(&memory),
+      next_(memory.node_count(), 0),
+      limit_(memory.node_count(), 0) {}
+
+usize AppendOrderCursor::drain(const MemoryView& view, SimTime watermark,
+                               std::vector<MsgId>& out) {
+  AMM_EXPECTS(&view.memory() == memory_);
+  AMM_EXPECTS(view.register_count() == next_.size());
+
+  // Admit newly visible register heads. A register contributes (at most)
+  // one heap entry at a time — its smallest unemitted message.
+  for (u32 r = 0; r < view.register_count(); ++r) {
+    const u32 new_limit = view.register_len(r);
+    AMM_EXPECTS(new_limit >= limit_[r]);  // views of a cursor only grow
+    const bool was_exhausted = next_[r] >= limit_[r];
+    limit_[r] = new_limit;
+    if (was_exhausted && next_[r] < limit_[r]) {
+      const MsgId id{r, next_[r]};
+      heads_.push(Head{memory_->msg(id).appended_at, id});
+    }
+  }
+
+  usize count = 0;
+  while (!heads_.empty() && heads_.top().time < watermark) {
+    const Head top = heads_.top();
+    heads_.pop();
+    out.push_back(top.id);
+    ++count;
+    const u32 r = top.id.author;
+    if (++next_[r] < limit_[r]) {
+      const MsgId id{r, next_[r]};
+      heads_.push(Head{memory_->msg(id).appended_at, id});
+    }
+  }
+  emitted_ += count;
+  return count;
+}
+
+}  // namespace amm::am

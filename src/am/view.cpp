@@ -3,23 +3,13 @@
 #include <algorithm>
 
 #include "am/memory.hpp"
+#include "am/order.hpp"
 
 namespace amm::am {
 
 std::vector<MsgId> MemoryView::by_append_time() const {
-  std::vector<MsgId> ids;
-  ids.reserve(size());
-  for (u32 r = 0; r < register_count(); ++r) {
-    for (u32 s = 0; s < lens_[r]; ++s) ids.push_back(MsgId{r, s});
-  }
-  const AppendMemory& mem = memory();
-  std::stable_sort(ids.begin(), ids.end(), [&mem](MsgId a, MsgId b) {
-    const SimTime ta = mem.msg(a).appended_at;
-    const SimTime tb = mem.msg(b).appended_at;
-    if (ta != tb) return ta < tb;
-    return a < b;  // deterministic tie order on identical timestamps
-  });
-  return ids;
+  if (empty()) return {};
+  return merge_append_order(memory(), /*from=*/{}, lens_);
 }
 
 MemoryView MemoryView::join(const MemoryView& other) const {

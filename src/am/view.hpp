@@ -40,7 +40,14 @@ class MemoryView {
     return total;
   }
 
-  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] bool empty() const {
+    // Short-circuit on the first nonzero register instead of summing all
+    // lengths — emptiness checks sit on protocol hot paths.
+    for (const u32 len : lens_) {
+      if (len != 0) return false;
+    }
+    return true;
+  }
 
   [[nodiscard]] bool contains(MsgId id) const {
     return id.author < lens_.size() && id.seq < lens_[id.author];
@@ -55,6 +62,10 @@ class MemoryView {
 
   /// All visible messages sorted by authoritative append time (stable by id
   /// for identical times). Used by the timestamp baseline (§5.1).
+  ///
+  /// Computed as a k-way merge over the per-register sequences (each is
+  /// already time-ordered), O(n log k) instead of a full O(n log n) sort;
+  /// see am/order.hpp for the incremental cursor variant.
   [[nodiscard]] std::vector<MsgId> by_append_time() const;
 
   /// Prefix partial order: *this ⊑ other iff every register prefix of this

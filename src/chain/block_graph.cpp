@@ -3,116 +3,266 @@
 #include <algorithm>
 #include <deque>
 
+#include "am/order.hpp"
+
 namespace amm::chain {
 
-BlockGraph::BlockGraph(const MemoryView& view) : view_(view) {
-  if (view_.empty()) return;
-  const std::vector<MsgId> order = view_.by_append_time();
+void BlockGraph::attach_child(MsgId parent, MsgId child) {
+  std::vector<MsgId>& siblings =
+      parent == kRootId ? root_children_ : nodes_[index_of(parent)].children;
+  // Keep append-time order. The common case (a fresh block extending the
+  // frontier) lands at the end in O(1); only a late-revealed old message
+  // pays the positional insert.
+  if (siblings.empty() || key_less(siblings.back(), child)) {
+    siblings.push_back(child);
+    return;
+  }
+  const auto it = std::lower_bound(siblings.begin(), siblings.end(), child,
+                                   [this](MsgId a, MsgId b) { return key_less(a, b); });
+  siblings.insert(it, child);
+}
 
-  // Pass 1: create nodes and the id index.
-  nodes_.reserve(order.size());
-  index_.reserve(order.size());
-  for (const MsgId id : order) {
-    index_.emplace(id, nodes_.size());
+void BlockGraph::detach_child(MsgId parent, MsgId child) {
+  std::vector<MsgId>& siblings =
+      parent == kRootId ? root_children_ : nodes_[index_of(parent)].children;
+  const auto it = std::find(siblings.begin(), siblings.end(), child);
+  AMM_ASSERT(it != siblings.end());
+  siblings.erase(it);
+}
+
+void BlockGraph::extend(const MemoryView& newer) {
+  AMM_EXPECTS(newer.valid());
+  if (!view_.valid()) {
+    // First extension binds the graph to the view's memory.
+    view_ = MemoryView(&newer.memory(), std::vector<u32>(newer.register_count(), 0));
+    index_.resize(newer.register_count());
+  }
+  AMM_EXPECTS(&view_.memory() == &newer.memory());
+  AMM_EXPECTS(view_.subset_of(newer));
+
+  // Only the newly visible messages, in canonical (appended_at, id) order —
+  // a k-way merge over the per-register delta ranges.
+  const std::vector<MsgId> delta =
+      am::merge_append_order(newer.memory(), view_.lens(), newer.lens());
+  view_ = newer;
+  if (delta.empty()) return;
+
+  // Pass 1: create nodes and dense index entries. Within one register the
+  // delta arrives in sequence order, so the per-author index grows by
+  // push_back. Deliberately no reserve(size + delta): an exact-fit reserve
+  // every round defeats geometric growth and turns repeated extension into
+  // an O(total) reallocation per call.
+  const usize first_new = nodes_.size();
+  for (const MsgId id : delta) {
+    AMM_ASSERT(index_[id.author].size() == id.seq);
+    index_[id.author].push_back(static_cast<u32>(nodes_.size()));
     Node n;
     n.id = id;
+    n.time = view_.msg(id).appended_at;
     nodes_.push_back(std::move(n));
   }
 
-  // Pass 2: resolve references. References outside the view (a Byzantine
-  // message may cite an append this observer has not seen) are dropped;
-  // such a block hangs off the root for structural purposes.
-  for (auto& n : nodes_) {
+  // Canonical order: the old prefix and the delta are each sorted, so a
+  // single in-place merge restores the invariant. The common case (all new
+  // messages later than everything seen) is a pure append.
+  const usize old_order = order_.size();
+  for (usize p = first_new; p < nodes_.size(); ++p) order_.push_back(static_cast<u32>(p));
+  if (old_order != 0 &&
+      key_less(nodes_[order_[old_order]].id, nodes_[order_[old_order - 1]].id)) {
+    std::inplace_merge(order_.begin(), order_.begin() + static_cast<std::ptrdiff_t>(old_order),
+                       order_.end(),
+                       [this](u32 a, u32 b) { return key_less(nodes_[a].id, nodes_[b].id); });
+  }
+
+  // Pass 2: resolve the new nodes' references. References outside the view
+  // (a Byzantine message may cite an append this observer has not seen) are
+  // parked in pending_; such a block hangs off the root until the target
+  // becomes visible.
+  for (usize p = first_new; p < nodes_.size(); ++p) {
+    Node& n = nodes_[p];
     const Message& m = view_.msg(n.id);
     n.refs.reserve(m.refs.size());
     for (const MsgId ref : m.refs) {
-      if (!contains(ref)) continue;
-      n.refs.push_back(ref);
-      node_mut(ref).referenced = true;
+      if (view_.contains(ref)) {
+        n.refs.push_back(ref);
+        node_mut(ref).referenced = true;
+      } else {
+        pending_[ref].push_back(static_cast<u32>(p));
+      }
     }
     n.parent = n.refs.empty() ? kRootId : n.refs.front();
+    attach_child(n.parent, n.id);
   }
-  for (const auto& n : nodes_) {
-    if (n.parent == kRootId) {
-      root_children_.push_back(n.id);
-    } else {
-      node_mut(n.parent).children.push_back(n.id);
+
+  // Pass 3: wake waiters whose awaited target just became visible. The
+  // parent is the *first visible* reference, so a late-revealed earlier
+  // reference can reparent an existing block — exactly what a from-scratch
+  // build of the larger view would have done.
+  bool reparented = false;
+  for (const MsgId id : delta) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    for (const u32 wp : it->second) {
+      Node& w = nodes_[wp];
+      const Message& m = view_.msg(w.id);
+      std::vector<MsgId> visible;
+      visible.reserve(m.refs.size());
+      for (const MsgId ref : m.refs) {
+        if (view_.contains(ref)) visible.push_back(ref);
+      }
+      w.refs = std::move(visible);
+      node_mut(id).referenced = true;
+      const MsgId new_parent = w.refs.empty() ? kRootId : w.refs.front();
+      if (new_parent != w.parent) {
+        detach_child(w.parent, w.id);
+        attach_child(new_parent, w.id);
+        w.parent = new_parent;
+        reparented = true;
+      }
+    }
+    pending_.erase(it);
+  }
+
+  if (reparented) {
+    // Reparenting cascades through depths; recompute wholesale (cold path —
+    // requires a Byzantine dangling reference resolved late).
+    recompute_all_depths();
+    recompute_frontier();
+  } else {
+    // Depths of the new nodes only, via an explicit stack (no recursion;
+    // chains can be long). A parent is either settled (depth > 0) or a new
+    // node reachable through the stack.
+    std::vector<usize> stack;
+    for (usize i = first_new; i < nodes_.size(); ++i) {
+      if (nodes_[i].depth != 0) continue;
+      stack.push_back(i);
+      while (!stack.empty()) {
+        const usize cur = stack.back();
+        Node& n = nodes_[cur];
+        if (n.parent == kRootId) {
+          n.depth = 1;
+          stack.pop_back();
+          continue;
+        }
+        const usize pi = index_of(n.parent);
+        if (nodes_[pi].depth == 0) {
+          stack.push_back(pi);
+          continue;
+        }
+        n.depth = nodes_[pi].depth + 1;
+        stack.pop_back();
+      }
+    }
+    // Frontier update, keeping deepest_ in append-time order (a new block
+    // at the frontier lands at the end; a late-revealed equal-depth block
+    // slots into position).
+    for (usize i = first_new; i < nodes_.size(); ++i) {
+      const Node& n = nodes_[i];
+      if (n.depth > max_depth_) {
+        max_depth_ = n.depth;
+        deepest_.clear();
+      }
+      if (n.depth == max_depth_) {
+        if (deepest_.empty() || key_less(deepest_.back(), n.id)) {
+          deepest_.push_back(n.id);
+        } else {
+          const auto pos = std::lower_bound(deepest_.begin(), deepest_.end(), n.id,
+                                            [this](MsgId a, MsgId b) { return key_less(a, b); });
+          deepest_.insert(pos, n.id);
+        }
+      }
     }
   }
 
-  // Pass 3: depths via an explicit stack (no recursion; chains can be long).
-  std::vector<u8> done(nodes_.size(), 0);
+  weights_valid_ = false;
+  topo_valid_ = false;
+}
+
+void BlockGraph::recompute_all_depths() {
+  for (Node& n : nodes_) n.depth = 0;
   std::vector<usize> stack;
   for (usize i = 0; i < nodes_.size(); ++i) {
-    if (done[i]) continue;
+    if (nodes_[i].depth != 0) continue;
     stack.push_back(i);
     while (!stack.empty()) {
       const usize cur = stack.back();
       Node& n = nodes_[cur];
       if (n.parent == kRootId) {
         n.depth = 1;
-        done[cur] = 1;
         stack.pop_back();
         continue;
       }
-      const usize pi = index_.at(n.parent);
-      if (!done[pi]) {
+      const usize pi = index_of(n.parent);
+      if (nodes_[pi].depth == 0) {
         stack.push_back(pi);
         continue;
       }
       n.depth = nodes_[pi].depth + 1;
-      done[cur] = 1;
       stack.pop_back();
     }
   }
-  for (const auto& n : nodes_) max_depth_ = std::max(max_depth_, n.depth);
-  for (const auto& n : nodes_) {
-    if (n.depth == max_depth_) deepest_.push_back(n.id);
-  }
+}
 
-  // Pass 4: GHOST weights — accumulate bottom-up by descending depth.
-  std::vector<usize> by_depth(nodes_.size());
-  for (usize i = 0; i < nodes_.size(); ++i) by_depth[i] = i;
+void BlockGraph::recompute_frontier() {
+  max_depth_ = 0;
+  for (const Node& n : nodes_) max_depth_ = std::max(max_depth_, n.depth);
+  deepest_.clear();
+  for (const u32 p : order_) {
+    if (nodes_[p].depth == max_depth_) deepest_.push_back(nodes_[p].id);
+  }
+}
+
+void BlockGraph::ensure_weights() const {
+  if (weights_valid_) return;
+  // GHOST weights — accumulate bottom-up by descending depth.
+  weights_.assign(nodes_.size(), 1);
+  std::vector<u32> by_depth(order_);
   std::stable_sort(by_depth.begin(), by_depth.end(),
-                   [this](usize a, usize b) { return nodes_[a].depth > nodes_[b].depth; });
-  for (const usize i : by_depth) {
-    const Node& n = nodes_[i];
-    if (n.parent != kRootId) node_mut(n.parent).weight += n.weight;
+                   [this](u32 a, u32 b) { return nodes_[a].depth > nodes_[b].depth; });
+  for (const u32 p : by_depth) {
+    const Node& n = nodes_[p];
+    if (n.parent != kRootId) weights_[index_of(n.parent)] += weights_[p];
   }
+  weights_valid_ = true;
+}
 
-  // Pass 5: deterministic topological order over all visible ref edges
-  // (Kahn; ready set processed in append order via a FIFO seeded in order).
+void BlockGraph::ensure_topo() const {
+  if (topo_valid_) return;
+  // Deterministic topological order over all visible ref edges (Kahn; ready
+  // set processed in append order via a FIFO seeded in canonical order).
+  topo_.clear();
+  topo_.reserve(nodes_.size());
   std::vector<u32> in_degree(nodes_.size(), 0);
-  for (const auto& n : nodes_) {
-    for (const MsgId ref : n.refs) {
-      (void)ref;
-      ++in_degree[index_.at(n.id)];
+  for (usize p = 0; p < nodes_.size(); ++p) {
+    in_degree[p] = static_cast<u32>(nodes_[p].refs.size());
+  }
+  std::deque<u32> ready;
+  for (const u32 p : order_) {
+    if (in_degree[p] == 0) ready.push_back(p);
+  }
+  // Out-edge lists: ref -> referrers, referrers in append order.
+  std::vector<std::vector<u32>> referrers(nodes_.size());
+  for (const u32 p : order_) {
+    for (const MsgId ref : nodes_[p].refs) {
+      referrers[index_of(ref)].push_back(p);
     }
   }
-  std::deque<usize> ready;
-  for (usize i = 0; i < nodes_.size(); ++i) {
-    if (in_degree[i] == 0) ready.push_back(i);
-  }
-  // Out-edge lists: ref -> referrers.
-  std::vector<std::vector<usize>> referrers(nodes_.size());
-  for (usize i = 0; i < nodes_.size(); ++i) {
-    for (const MsgId ref : nodes_[i].refs) referrers[index_.at(ref)].push_back(i);
-  }
-  topo_.reserve(nodes_.size());
   while (!ready.empty()) {
-    const usize i = ready.front();
+    const u32 p = ready.front();
     ready.pop_front();
-    topo_.push_back(nodes_[i].id);
-    for (const usize j : referrers[i]) {
+    topo_.push_back(nodes_[p].id);
+    for (const u32 j : referrers[p]) {
       if (--in_degree[j] == 0) ready.push_back(j);
     }
   }
   AMM_ENSURES(topo_.size() == nodes_.size());  // views are acyclic by construction
+  topo_valid_ = true;
 }
 
 std::vector<MsgId> BlockGraph::tips() const {
   std::vector<MsgId> result;
-  for (const auto& n : nodes_) {
+  for (const u32 p : order_) {
+    const Node& n = nodes_[p];
     if (n.children.empty() && !n.referenced) result.push_back(n.id);
   }
   return result;

@@ -5,9 +5,18 @@
 // inclusion edges (the DAG structure, as in inclusive blockchains /
 // Conflux). Messages with no references attach to a virtual root — the
 // paper's "dummy append, e.g. the empty state of the memory" (§5.3).
+//
+// Views of the append memory form a lattice and only ever grow (§2, §5.3),
+// so the graph is *incrementally extendable*: `extend(newer)` ingests only
+// the messages of `newer` that the current view does not contain, instead
+// of reconstructing the whole graph. Protocols that observe a growing view
+// carry one graph across rounds; an extension costs O(delta) for the graph
+// structure, while the order-dependent analytics (GHOST weights, the
+// deterministic topological order) are recomputed lazily on first access
+// after a change. Extending to view V yields a graph bit-identical to
+// `BlockGraph(V)` built from scratch — the property tests assert this.
 #pragma once
 
-#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -26,13 +35,36 @@ inline constexpr MsgId kRootId{~u32{0}, ~u32{0}};
 
 class BlockGraph {
  public:
-  /// Builds the graph of every message visible in `view`. O(messages + refs).
-  explicit BlockGraph(const MemoryView& view);
+  /// An empty graph; bound to a memory by the first extend().
+  BlockGraph() = default;
+
+  /// Builds the graph of every message visible in `view`. O(messages·log
+  /// registers + refs).
+  explicit BlockGraph(const MemoryView& view) { extend(view); }
+
+  /// Ingests every message visible in `newer` but not in the current view.
+  /// `newer` must be a superset view of the same memory (views only grow).
+  /// Postcondition: *this is bit-identical to BlockGraph(newer).
+  void extend(const MemoryView& newer);
 
   const MemoryView& view() const { return view_; }
   usize block_count() const { return nodes_.size(); }  // excludes the root
 
-  bool contains(MsgId id) const { return index_.contains(id); }
+  bool contains(MsgId id) const {
+    return id.author < index_.size() && id.seq < index_[id.author].size();
+  }
+
+  /// Dense position of `id` in [0, block_count()): MsgId = (author, seq) is
+  /// a perfect 2D index, so the lookup is two array loads — no hashing.
+  /// Positions are stable across extend() calls. Hot-path analytics
+  /// (chain/rules.cpp) use positions to replace hash maps with flat arrays.
+  usize index_of(MsgId id) const {
+    AMM_EXPECTS(contains(id));
+    return index_[id.author][id.seq];
+  }
+
+  /// The block at dense position `pos` (inverse of index_of).
+  MsgId id_at(usize pos) const { return nodes_[pos].id; }
 
   /// Parent in the chain sense (first reference), kRootId for ref-less
   /// messages. Unseen parents (possible for Byzantine messages referencing
@@ -44,9 +76,12 @@ class BlockGraph {
 
   /// Number of blocks in the subtree rooted at `id` (including itself)
   /// under parent edges — the GHOST weight.
-  u32 subtree_weight(MsgId id) const { return node(id).weight; }
+  u32 subtree_weight(MsgId id) const {
+    ensure_weights();
+    return weights_[index_of(id)];
+  }
 
-  /// Children along parent edges, in insertion (append-time) order.
+  /// Children along parent edges, in append-time order.
   std::span<const MsgId> children(MsgId id) const { return node(id).children; }
   std::span<const MsgId> root_children() const { return root_children_; }
 
@@ -71,33 +106,61 @@ class BlockGraph {
 
   /// Blocks in a deterministic topological order (parents and referenced
   /// blocks before referrers; ties by append order).
-  const std::vector<MsgId>& topo_order() const { return topo_; }
+  const std::vector<MsgId>& topo_order() const {
+    ensure_topo();
+    return topo_;
+  }
 
  private:
   struct Node {
     MsgId id;
     MsgId parent = kRootId;
+    SimTime time = 0.0;           // appended_at, cached for order keys
     u32 depth = 0;
-    u32 weight = 1;
-    std::vector<MsgId> refs;      // visible refs only
-    std::vector<MsgId> children;  // parent-edge children
+    std::vector<MsgId> refs;      // visible refs only, in message order
+    std::vector<MsgId> children;  // parent-edge children, append-time order
     bool referenced = false;      // appears in someone's ref list
   };
 
-  const Node& node(MsgId id) const {
-    const auto it = index_.find(id);
-    AMM_EXPECTS(it != index_.end());
-    return nodes_[it->second];
+  const Node& node(MsgId id) const { return nodes_[index_of(id)]; }
+  Node& node_mut(MsgId id) { return nodes_[index_of(id)]; }
+
+  /// Canonical (appended_at, id) order — the order a from-scratch build
+  /// ingests nodes in.
+  bool key_less(MsgId a, MsgId b) const {
+    const Node& na = nodes_[index_of(a)];
+    const Node& nb = nodes_[index_of(b)];
+    if (na.time != nb.time) return na.time < nb.time;
+    return a < b;
   }
-  Node& node_mut(MsgId id) { return nodes_[index_.at(id)]; }
+
+  void attach_child(MsgId parent, MsgId child);
+  void detach_child(MsgId parent, MsgId child);
+  void recompute_all_depths();
+  void recompute_frontier();
+
+  // Lazy analytics: recomputed on first access after an extend. NOT
+  // thread-safe for concurrent first access — a graph belongs to one
+  // simulation trial (Core Guidelines CP.3), like the memory it reads.
+  void ensure_weights() const;
+  void ensure_topo() const;
 
   MemoryView view_;
-  std::vector<Node> nodes_;  // in append-time order
-  std::unordered_map<MsgId, usize> index_;
-  std::vector<MsgId> root_children_;
-  std::vector<MsgId> deepest_;
-  std::vector<MsgId> topo_;
+  std::vector<Node> nodes_;              // ingestion order; positions stable
+  std::vector<std::vector<u32>> index_;  // [author][seq] -> position (dense)
+  std::vector<u32> order_;               // positions in (appended_at, id) order
+  std::vector<MsgId> root_children_;     // append-time order
+  std::vector<MsgId> deepest_;           // append-time order
   u32 max_depth_ = 0;
+  /// Unresolved references (targets outside every view seen so far) ->
+  /// waiting positions. Cold path: only Byzantine messages cite appends
+  /// their observer has not seen, so a hash map is fine here.
+  std::unordered_map<MsgId, std::vector<u32>> pending_;
+
+  mutable std::vector<u32> weights_;  // by position; valid iff weights_valid_
+  mutable std::vector<MsgId> topo_;
+  mutable bool weights_valid_ = false;
+  mutable bool topo_valid_ = false;
 };
 
 }  // namespace amm::chain

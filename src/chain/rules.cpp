@@ -1,7 +1,6 @@
 #include "chain/rules.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace amm::chain {
 
@@ -24,17 +23,19 @@ std::vector<MsgId> select_pivot(const BlockGraph& graph, PivotRule rule) {
 
   // For the longest-chain rule we need, per block, the height of the
   // deepest descendant. Compute it once, bottom-up by descending depth.
-  std::unordered_map<MsgId, u32> max_reach;  // deepest depth reachable in subtree
+  // MsgId is a perfect index into the graph's dense positions, so this is
+  // a flat array rather than a hash map.
+  std::vector<u32> max_reach(graph.block_count());  // deepest depth reachable in subtree
   {
-    std::vector<MsgId> order = graph.topo_order();
+    const std::vector<MsgId>& order = graph.topo_order();
     // Process leaves first: reverse topological order works because parent
     // edges are a subset of reference edges.
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       u32 reach = graph.depth(*it);
       for (const MsgId c : graph.children(*it)) {
-        reach = std::max(reach, max_reach.at(c));
+        reach = std::max(reach, max_reach[graph.index_of(c)]);
       }
-      max_reach.emplace(*it, reach);
+      max_reach[graph.index_of(*it)] = reach;
     }
   }
 
@@ -42,9 +43,10 @@ std::vector<MsgId> select_pivot(const BlockGraph& graph, PivotRule rule) {
     AMM_EXPECTS(!children.empty());
     MsgId best = children.front();
     for (const MsgId c : children.subspan(1)) {
-      const bool better = rule == PivotRule::kGhost
-                              ? graph.subtree_weight(c) > graph.subtree_weight(best)
-                              : max_reach.at(c) > max_reach.at(best);
+      const bool better =
+          rule == PivotRule::kGhost
+              ? graph.subtree_weight(c) > graph.subtree_weight(best)
+              : max_reach[graph.index_of(c)] > max_reach[graph.index_of(best)];
       if (better) best = c;
     }
     return best;
@@ -61,21 +63,23 @@ std::vector<MsgId> select_pivot(const BlockGraph& graph, PivotRule rule) {
 
 std::vector<MsgId> linearize_dag(const BlockGraph& graph, PivotRule rule) {
   const std::vector<MsgId> pivot = select_pivot(graph, rule);
-  std::unordered_set<MsgId> pivot_set(pivot.begin(), pivot.end());
 
   // Epoch assignment: a non-pivot block belongs to the epoch of the first
-  // pivot block that (transitively) references it. Walk the global topo
+  // pivot block that (transitively) references it. Walking the global topo
   // order once per pivot step would be quadratic; instead assign epochs by
   // a reverse scan: process pivot blocks in order, collecting not-yet-
-  // emitted ancestors via DFS over reference edges.
-  std::unordered_set<MsgId> emitted;
+  // emitted ancestors via DFS over reference edges. All bookkeeping is by
+  // dense position — no hashing on the hot path.
+  std::vector<u8> emitted(graph.block_count(), 0);
   std::vector<MsgId> order;
   order.reserve(graph.block_count());
 
   // Position in the global deterministic topo order, for stable epoch-
   // internal ordering.
-  std::unordered_map<MsgId, usize> topo_pos;
-  for (usize i = 0; i < graph.topo_order().size(); ++i) topo_pos[graph.topo_order()[i]] = i;
+  std::vector<usize> topo_pos(graph.block_count());
+  for (usize i = 0; i < graph.topo_order().size(); ++i) {
+    topo_pos[graph.index_of(graph.topo_order()[i])] = i;
+  }
 
   std::vector<MsgId> stack;
   std::vector<MsgId> epoch;
@@ -85,21 +89,23 @@ std::vector<MsgId> linearize_dag(const BlockGraph& graph, PivotRule rule) {
     while (!stack.empty()) {
       const MsgId cur = stack.back();
       stack.pop_back();
-      if (emitted.contains(cur)) continue;
-      emitted.insert(cur);
+      u8& mark = emitted[graph.index_of(cur)];
+      if (mark != 0) continue;
+      mark = 1;
       epoch.push_back(cur);
       for (const MsgId ref : graph.refs(cur)) {
-        if (!emitted.contains(ref)) stack.push_back(ref);
+        if (emitted[graph.index_of(ref)] == 0) stack.push_back(ref);
       }
     }
-    std::sort(epoch.begin(), epoch.end(),
-              [&](MsgId a, MsgId b) { return topo_pos.at(a) < topo_pos.at(b); });
+    std::sort(epoch.begin(), epoch.end(), [&](MsgId a, MsgId b) {
+      return topo_pos[graph.index_of(a)] < topo_pos[graph.index_of(b)];
+    });
     order.insert(order.end(), epoch.begin(), epoch.end());
   }
   // Blocks unreachable from the pivot (withheld side branches nobody
   // referenced) are appended last in topo order, so the output is total.
   for (const MsgId id : graph.topo_order()) {
-    if (!emitted.contains(id)) order.push_back(id);
+    if (emitted[graph.index_of(id)] == 0) order.push_back(id);
   }
   AMM_ENSURES(order.size() == graph.block_count());
   return order;

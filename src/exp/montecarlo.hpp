@@ -6,66 +6,70 @@
 // independent of scheduling and fully reproducible from the master seed.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
-#include <vector>
 
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 
 namespace amm::exp {
+namespace detail {
 
-/// Estimates Pr[trial succeeds] over `trials` independent runs.
-inline BernoulliEstimate estimate_rate(ThreadPool& pool, u64 master_seed, usize trials,
-                                       const std::function<bool(usize, Rng&)>& trial) {
-  std::mutex merge_mutex;
-  BernoulliEstimate total;
+/// Runs `trials` independent trials with *dynamic* scheduling: one worker
+/// per pool thread, each pulling the next trial index from a shared atomic
+/// counter. Trial durations are heavily skewed (a withholding adversary can
+/// make one trial run orders of magnitude longer than an honest one), so
+/// static contiguous chunks serialize on whichever chunk drew the slow
+/// trials; with work stealing from a counter the imbalance is at most one
+/// trial. Results stay scheduling-independent because each trial's RNG is
+/// derived from (master seed, trial index) alone and the accumulator merge
+/// is associative over per-worker partials.
+template <typename Acc, typename PerTrial>
+Acc run_trials(ThreadPool& pool, usize trials, const PerTrial& per_trial) {
+  Acc total;
   if (trials == 0) return total;
-  const usize chunks = std::min<usize>(trials, pool.size() * 4);
-  const usize per_chunk = (trials + chunks - 1) / chunks;
-  for (usize c = 0; c < chunks; ++c) {
-    const usize lo = c * per_chunk;
-    const usize hi = std::min(trials, lo + per_chunk);
-    if (lo >= hi) break;
-    pool.submit([&, lo, hi] {
-      BernoulliEstimate local;
-      for (usize i = lo; i < hi; ++i) {
-        Rng rng = Rng::for_stream(master_seed, i);
-        local.add(trial(i, rng));
+  std::mutex merge_mutex;
+  std::atomic<usize> next{0};
+  const usize workers = std::min<usize>(trials, pool.size());
+  for (usize w = 0; w < workers; ++w) {
+    pool.submit([&total, &merge_mutex, &next, trials, &per_trial] {
+      Acc local;
+      for (usize i = next.fetch_add(1, std::memory_order_relaxed); i < trials;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        per_trial(i, local);
       }
       std::scoped_lock lock(merge_mutex);
       total.merge(local);
     });
   }
+  // All captured locals outlive the workers: wait_idle() blocks until the
+  // last submitted task has finished.
   pool.wait_idle();
   return total;
+}
+
+}  // namespace detail
+
+/// Estimates Pr[trial succeeds] over `trials` independent runs.
+inline BernoulliEstimate estimate_rate(ThreadPool& pool, u64 master_seed, usize trials,
+                                       const std::function<bool(usize, Rng&)>& trial) {
+  return detail::run_trials<BernoulliEstimate>(
+      pool, trials, [master_seed, &trial](usize i, BernoulliEstimate& acc) {
+        Rng rng = Rng::for_stream(master_seed, i);
+        acc.add(trial(i, rng));
+      });
 }
 
 /// Streams a real-valued statistic over `trials` independent runs.
 inline RunningStats collect_stats(ThreadPool& pool, u64 master_seed, usize trials,
                                   const std::function<double(usize, Rng&)>& trial) {
-  std::mutex merge_mutex;
-  RunningStats total;
-  if (trials == 0) return total;
-  const usize chunks = std::min<usize>(trials, pool.size() * 4);
-  const usize per_chunk = (trials + chunks - 1) / chunks;
-  for (usize c = 0; c < chunks; ++c) {
-    const usize lo = c * per_chunk;
-    const usize hi = std::min(trials, lo + per_chunk);
-    if (lo >= hi) break;
-    pool.submit([&, lo, hi] {
-      RunningStats local;
-      for (usize i = lo; i < hi; ++i) {
-        Rng rng = Rng::for_stream(master_seed, i);
-        local.add(trial(i, rng));
-      }
-      std::scoped_lock lock(merge_mutex);
-      total.merge(local);
-    });
-  }
-  pool.wait_idle();
-  return total;
+  return detail::run_trials<RunningStats>(pool, trials,
+                                          [master_seed, &trial](usize i, RunningStats& acc) {
+                                            Rng rng = Rng::for_stream(master_seed, i);
+                                            acc.add(trial(i, rng));
+                                          });
 }
 
 }  // namespace amm::exp

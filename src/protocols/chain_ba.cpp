@@ -33,10 +33,17 @@ class ChainState {
   am::AppendMemory& memory() { return memory_; }
 
   /// Invariant audit hook (no-op unless AMM_AUDIT): append-only growth and
-  /// prefix immutability of the backing memory, monotone observed views.
+  /// prefix immutability of the backing memory, monotone observed views,
+  /// and structural invariants of a BlockGraph carried across checkpoints —
+  /// which doubles as a continuous cross-check that incremental extension
+  /// tracks the growing view. Zero cost in release builds.
   void audit() {
     auditor_.check(memory_);
     auditor_.check_view(memory_.read());
+    if constexpr (check::kAuditEnabled) {
+      graph_.extend(memory_.read());
+      check::check_graph(graph_);
+    }
   }
 
   usize append(NodeId author, Vote vote, i32 parent, SimTime now) {
@@ -102,6 +109,7 @@ class ChainState {
  private:
   am::AppendMemory memory_;
   check::MemoryAuditor auditor_;
+  chain::BlockGraph graph_;  ///< audit-only; extended lazily at checkpoints
   std::vector<Rec> recs_;
   u32 max_depth_ = 0;
   std::vector<usize> deepest_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "am/memory.hpp"
+#include "chain/block_graph.hpp"
 #include "check/audit.hpp"
 #include "sched/poisson.hpp"
 
@@ -21,6 +22,17 @@ NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng) {
   sched::TokenAuthority authority(s.n, params.lambda, params.delta,
                                   Rng::for_stream(rng.next(), 1));
   check::MemoryAuditor auditor;
+  // Audit-only carried graph: extended incrementally at checkpoints, it
+  // cross-checks BlockGraph::extend against the growing race history. Zero
+  // cost in release builds.
+  chain::BlockGraph graph;
+  auto audit_all = [&] {
+    auditor.check(memory);
+    if constexpr (check::kAuditEnabled) {
+      graph.extend(memory.read());
+      check::check_graph(graph);
+    }
+  };
 
   // Public chain: correct blocks after the tx block; private chain: the
   // attacker's fork from the tx block's parent. Serialized regime — each
@@ -64,14 +76,14 @@ NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng) {
     }
     if (accepted) {
       if (private_len > public_len) {
-        auditor.check(memory);
+        audit_all();
         result.terminated = true;
         result.reversed = true;  // the attacker publishes and wins
         result.final_lead = static_cast<i64>(public_len) - static_cast<i64>(private_len);
         return result;
       }
       if (public_len >= private_len + params.give_up_deficit) {
-        auditor.check(memory);
+        audit_all();
         result.terminated = true;
         result.reversed = false;
         result.final_lead = static_cast<i64>(public_len) - static_cast<i64>(private_len);
@@ -79,7 +91,7 @@ NakamotoResult run_double_spend_race(const NakamotoParams& params, Rng rng) {
       }
     }
   }
-  auditor.check(memory);
+  audit_all();
   return result;
 }
 

@@ -79,22 +79,23 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, usize count, const std::function<void(usize)>& fn) {
   if (count == 0) return;
-  // Chunk so each worker gets a contiguous block; avoids per-index overhead.
-  const usize chunks = std::min<usize>(count, pool.size() * 4);
-  const usize per_chunk = (count + chunks - 1) / chunks;
-  std::atomic<usize> remaining{0};
-  for (usize c = 0; c < chunks; ++c) {
-    const usize lo = c * per_chunk;
-    const usize hi = std::min(count, lo + per_chunk);
-    if (lo >= hi) break;
-    ++remaining;
-    pool.submit([lo, hi, &fn, &remaining] {
-      for (usize i = lo; i < hi; ++i) fn(i);
-      --remaining;
+  // Dynamic scheduling: one task per worker, each pulling the next index
+  // from a shared counter. Iteration costs in the simulators are skewed
+  // enough (adversarial trials run far longer than honest ones) that static
+  // contiguous chunks serialize on the unlucky chunk; an uncontended
+  // fetch_add per index is noise next to a single trial.
+  std::atomic<usize> next{0};
+  const usize workers = std::min<usize>(count, pool.size());
+  for (usize w = 0; w < workers; ++w) {
+    pool.submit([&next, count, &fn] {
+      for (usize i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
     });
   }
   pool.wait_idle();
-  AMM_ENSURES(remaining == 0);
+  AMM_ENSURES(next.load() >= count);
 }
 
 }  // namespace amm

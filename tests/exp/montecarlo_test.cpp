@@ -4,6 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 namespace amm::exp {
 namespace {
 
@@ -48,6 +53,56 @@ TEST(CollectStats, MeanMatchesSequential) {
   auto run = [](unsigned threads) {
     ThreadPool pool(threads);
     return collect_stats(pool, 9, 5000, [](usize, Rng& rng) { return rng.normal() * 2.0 + 1.0; });
+  };
+  const auto a = run(1);
+  const auto b = run(3);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_NEAR(a.mean(), b.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), b.variance(), 1e-9);
+}
+
+// Dynamic scheduling: every trial index runs exactly once even when the
+// workers race on the shared counter.
+TEST(EstimateRate, EveryIndexRunsExactlyOnce) {
+  constexpr usize kTrials = 4096;
+  std::vector<std::atomic<u32>> hits(kTrials);
+  ThreadPool pool(4);
+  const auto est = estimate_rate(pool, 7, kTrials, [&](usize i, Rng&) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return true;
+  });
+  EXPECT_EQ(est.trials(), kTrials);
+  for (usize i = 0; i < kTrials; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "trial " << i;
+  }
+}
+
+// Heavily skewed trial durations (one pathological straggler plus a block
+// of slow trials at the front — the shape a withholding adversary produces)
+// must not change counts or reproducibility. Under the old static chunking
+// the slow prefix landed in one chunk; dynamic scheduling spreads it.
+TEST(EstimateRate, SkewedTrialDurationsStayExact) {
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    return estimate_rate(pool, 11, 64, [](usize i, Rng& rng) {
+      if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (i < 8) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return rng.bernoulli(0.5);
+    });
+  };
+  const auto a = run(1);
+  const auto b = run(4);
+  EXPECT_EQ(a.trials(), 64u);
+  EXPECT_EQ(a.successes(), b.successes());
+}
+
+TEST(CollectStats, SkewedTrialDurationsMatchSequential) {
+  auto run = [](unsigned threads) {
+    ThreadPool pool(threads);
+    return collect_stats(pool, 13, 64, [](usize i, Rng& rng) {
+      if (i % 16 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      return rng.normal();
+    });
   };
   const auto a = run(1);
   const auto b = run(3);

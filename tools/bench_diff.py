@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Compare a bench run against the pinned BENCH_sim.json baseline.
+
+Extracts every time-like metric from two collect_bench.py documents and
+reports per-metric ratios. A metric is:
+
+  * a cell in a harness table whose column header contains a time unit
+    ("[ms]", "[s]", "[us]"), keyed by (binary, table caption, row label,
+    column) — row label = the leading non-time cells (n, history, ...);
+  * a google-benchmark entry's real_time, keyed by (binary, benchmark name).
+
+Exit status is nonzero iff any metric regressed by more than --threshold
+(default 1.5x) — unless --report-only, which always exits 0 (the CI
+perf-smoke job is informational; shared runners are too noisy to block on).
+
+Usage:
+  tools/bench_diff.py --baseline BENCH_sim.json --current run.json [--threshold 1.5]
+  tools/bench_diff.py --baseline BENCH_sim.json --current run.json --report-only
+  tools/bench_diff.py --self-test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+TIME_UNIT = re.compile(r"\[(ms|us|s)\]")
+
+Metrics = dict[str, float]
+
+
+def parse_number(cell: str) -> float | None:
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def extract_metrics(doc: dict) -> Metrics:
+    """Flattens a collect_bench.py document into {metric key: seconds-ish}."""
+    metrics: Metrics = {}
+    for name, sub in sorted(doc.get("experiments", {}).items()):
+        # google-benchmark micro document.
+        for bench in sub.get("benchmarks", []):
+            t = bench.get("real_time")
+            if isinstance(t, (int, float)) and bench.get("run_type", "iteration") == "iteration":
+                metrics[f"{name} :: {bench['name']}"] = float(t)
+        # Harness document: tables with string cells.
+        for table in sub.get("tables", []):
+            caption = table.get("caption", "")
+            inner = table.get("table", {})
+            headers = inner.get("headers", [])
+            time_cols = [i for i, hdr in enumerate(headers) if TIME_UNIT.search(hdr)]
+            if not time_cols:
+                continue
+            label_cols = [i for i in range(len(headers)) if i not in time_cols]
+            for row in inner.get("rows", []):
+                label = ",".join(f"{headers[i]}={row[i]}" for i in label_cols
+                                 if i < len(row) and not TIME_UNIT.search(headers[i])
+                                 and headers[i] != "speedup")
+                for i in time_cols:
+                    if i >= len(row):
+                        continue
+                    value = parse_number(row[i])
+                    if value is None or value <= 0.0:
+                        continue
+                    metrics[f"{name} :: {caption} :: {label} :: {headers[i]}"] = value
+    return metrics
+
+
+def compare(baseline: Metrics, current: Metrics, threshold: float) -> tuple[list[str], int]:
+    """Returns (report lines, regression count)."""
+    lines = []
+    lines.append(f"| metric | baseline | current | ratio | status |")
+    lines.append(f"|---|---|---|---|---|")
+    regressions = 0
+    for key in sorted(set(baseline) & set(current)):
+        base, cur = baseline[key], current[key]
+        ratio = cur / base
+        if ratio > threshold:
+            status = "REGRESSION"
+            regressions += 1
+        elif ratio < 1.0 / threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(f"| {key} | {base:.4g} | {cur:.4g} | {ratio:.2f}x | {status} |")
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    for key in only_base:
+        lines.append(f"| {key} | {baseline[key]:.4g} | — | — | missing in current |")
+    for key in only_cur:
+        lines.append(f"| {key} | — | {current[key]:.4g} | — | new |")
+    return lines, regressions
+
+
+def self_test() -> None:
+    """The regression detector must fire on an injected synthetic slowdown
+    and stay quiet on identical runs (unit-tested via ctest)."""
+    def doc(ms: float) -> dict:
+        return {
+            "experiments": {
+                "bench_hotpath": {
+                    "tables": [{
+                        "caption": "growth",
+                        "table": {
+                            "headers": ["n", "history", "extend [ms]", "speedup"],
+                            "rows": [["8", "1000", f"{ms}", "10.0"]],
+                        },
+                    }],
+                },
+                "bench_chain": {
+                    "benchmarks": [
+                        {"name": "BM_Build/1000", "real_time": 5.0 * ms,
+                         "run_type": "iteration"},
+                    ],
+                },
+            },
+        }
+
+    base = extract_metrics(doc(1.0))
+    assert len(base) == 2, f"expected 2 metrics, got {base}"
+    assert "bench_hotpath :: growth :: n=8,history=1000 :: extend [ms]" in base, base
+
+    _, same = compare(base, extract_metrics(doc(1.0)), threshold=1.5)
+    assert same == 0, "identical runs must not report regressions"
+
+    _, slower = compare(base, extract_metrics(doc(10.0)), threshold=1.5)
+    assert slower == 2, f"injected 10x slowdown must regress both metrics, got {slower}"
+
+    _, faster = compare(base, extract_metrics(doc(0.1)), threshold=1.5)
+    assert faster == 0, "a speedup is not a regression"
+
+    # End-to-end: the CLI contract is "nonzero exit on regression".
+    import subprocess
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="amm_bench_diff_") as tmp:
+        base_p = Path(tmp) / "base.json"
+        slow_p = Path(tmp) / "slow.json"
+        base_p.write_text(json.dumps(doc(1.0)))
+        slow_p.write_text(json.dumps(doc(10.0)))
+        argv = [sys.executable, __file__, "--baseline", str(base_p), "--current", str(slow_p)]
+        rc = subprocess.run(argv, stdout=subprocess.DEVNULL).returncode
+        assert rc != 0, "regression must exit nonzero"
+        rc = subprocess.run([*argv, "--report-only"], stdout=subprocess.DEVNULL).returncode
+        assert rc == 0, "--report-only must always exit 0"
+        rc = subprocess.run(
+            [sys.executable, __file__, "--baseline", str(base_p), "--current", str(base_p)],
+            stdout=subprocess.DEVNULL).returncode
+        assert rc == 0, "identical runs must exit 0"
+    print("bench_diff self-test: OK")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", type=Path, help="pinned baseline (BENCH_sim.json)")
+    ap.add_argument("--current", type=Path, help="fresh collect_bench.py output")
+    ap.add_argument("--threshold", type=float, default=1.5,
+                    help="regression ratio; current > threshold*baseline fails (default 1.5)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the delta table but always exit 0 (CI perf-smoke)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the detector fires on an injected regression")
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or use --self-test)")
+
+    base_doc = json.loads(args.baseline.read_text())
+    cur_doc = json.loads(args.current.read_text())
+    for doc, path in ((base_doc, args.baseline), (cur_doc, args.current)):
+        sha = doc.get("git_sha", "unknown")[:12]
+        bt = doc.get("build_type", "unknown")
+        print(f"[bench_diff] {path}: sha={sha} build={bt}")
+
+    lines, regressions = compare(extract_metrics(base_doc), extract_metrics(cur_doc),
+                                 args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        print(f"[bench_diff] {regressions} metric(s) regressed beyond "
+              f"{args.threshold:.2f}x", file=sys.stderr)
+        if not args.report_only:
+            sys.exit(1)
+    else:
+        print("[bench_diff] no regressions")
+
+
+if __name__ == "__main__":
+    main()
