@@ -1,21 +1,38 @@
 #include "mp/abd.hpp"
 
+#include <algorithm>
+
 namespace amm::mp {
 
-AbdNode::AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys)
-    : id_(id), net_(&net), keys_(&keys), quorum_(net.node_count() / 2 + 1) {
+AbdNode::AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys, AbdConfig config)
+    : id_(id),
+      net_(&net),
+      keys_(&keys),
+      verifier_(keys),
+      config_(config),
+      quorum_(net.node_count() / 2 + 1),
+      watermark_(keys.node_count(), 0),
+      parked_(keys.node_count()) {
+  AMM_EXPECTS(config_.max_pipeline >= 1);
   net_->attach(id_, [this](NodeId from, const WireMessage& msg) { handle(from, msg); });
 }
 
 void AbdNode::begin_append(i64 value, std::function<void()> done) {
-  AMM_EXPECTS(!pending_append_.has_value());  // one outstanding op at a time
+  if (pending_appends_.size() >= config_.max_pipeline) {
+    append_backlog_.push_back(QueuedAppend{value, std::move(done)});
+    return;
+  }
+  launch_append(value, std::move(done));
+}
+
+void AbdNode::launch_append(i64 value, std::function<void()> done) {
   SignedAppend rec;
   rec.author = id_;
   rec.seq = next_seq_++;
   rec.value = value;
   rec.sig = keys_->sign(id_, rec.digest());
 
-  pending_append_ = PendingAppend{rec.digest(), {}, std::move(done)};
+  pending_appends_.emplace(rec.digest(), PendingAppend{{}, std::move(done)});
 
   WireMessage msg;
   msg.kind = WireMessage::Kind::kAppend;
@@ -23,13 +40,26 @@ void AbdNode::begin_append(i64 value, std::function<void()> done) {
   net_->broadcast(id_, msg);
 }
 
+std::vector<FrontierEntry> AbdNode::make_frontier() const {
+  std::vector<FrontierEntry> frontier;
+  for (u32 a = 0; a < watermark_.size(); ++a) {
+    if (watermark_[a] > 0) frontier.push_back(FrontierEntry{NodeId{a}, watermark_[a]});
+  }
+  return frontier;
+}
+
 void AbdNode::begin_read(std::function<void(const std::vector<SignedAppend>&)> done) {
   const u64 rid = (static_cast<u64>(id_.index) << 40) | next_read_id_++;
-  pending_reads_.emplace(rid, PendingRead{{}, std::move(done), false});
 
   WireMessage msg;
   msg.kind = WireMessage::Kind::kReadReq;
   msg.read_id = rid;
+  if (config_.delta_reads) msg.frontier = make_frontier();
+  // With delta_reads off the frontier stays empty, so responders — whose
+  // code never branches on the mode — return their full view (Alg. 3).
+
+  pending_reads_.emplace(
+      rid, PendingRead{{}, std::move(done), false, false, frontier_digest(msg.frontier)});
   net_->broadcast(id_, msg);
 }
 
@@ -38,6 +68,17 @@ void AbdNode::admit(const SignedAppend& rec) {
   if (known_.contains(d)) return;
   known_.insert(d);
   view_.push_back(rec);
+  // Advance the contiguous-prefix watermark; out-of-order seqs (gathered by
+  // a read merge before the author's own broadcast arrived) park until the
+  // prefix catches up.
+  const u32 a = rec.author.index;
+  if (a >= watermark_.size()) return;  // unverifiable author: never admitted, but be safe
+  if (rec.seq == watermark_[a]) {
+    ++watermark_[a];
+    while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
+  } else if (rec.seq > watermark_[a]) {
+    parked_[a].insert(rec.seq);
+  }
 }
 
 void AbdNode::handle(NodeId from, const WireMessage& msg) {
@@ -45,7 +86,7 @@ void AbdNode::handle(NodeId from, const WireMessage& msg) {
     case WireMessage::Kind::kAppend: {
       // Verify the author's signature; a Byzantine relay cannot forge a
       // correct author's record (Lemma 4.1).
-      if (!keys_->verify(msg.append.digest(), msg.append.sig)) return;
+      if (!verifier_.verify(msg.append.digest(), msg.append.sig)) return;
       if (msg.append.sig.signer != msg.append.author) return;
       admit(msg.append);
       WireMessage ack;
@@ -56,37 +97,81 @@ void AbdNode::handle(NodeId from, const WireMessage& msg) {
       break;
     }
     case WireMessage::Kind::kAck: {
-      if (!pending_append_ || msg.append.digest() != pending_append_->digest) return;
-      if (!keys_->verify(msg.append.digest(), msg.ack_sig)) return;
-      pending_append_->ackers.insert(msg.ack_sig.signer.index);
-      if (pending_append_->ackers.size() >= quorum_) {
-        auto done = std::move(pending_append_->done);
-        pending_append_.reset();
+      const auto it = pending_appends_.find(msg.append.digest());
+      if (it == pending_appends_.end()) return;
+      if (!verifier_.verify(msg.append.digest(), msg.ack_sig)) return;
+      it->second.ackers.insert(msg.ack_sig.signer.index);
+      if (it->second.ackers.size() >= quorum_) {
+        auto done = std::move(it->second.done);
+        pending_appends_.erase(it);
+        if (!append_backlog_.empty()) {
+          QueuedAppend next = std::move(append_backlog_.front());
+          append_backlog_.pop_front();
+          launch_append(next.value, std::move(next.done));
+        }
         if (done) done();
       }
       break;
     }
     case WireMessage::Kind::kReadReq: {
+      // Per-author watermark requested by the reader; an empty frontier
+      // (legacy mode, first read, or full-read fallback) requests all.
+      std::vector<u32> wm(watermark_.size(), 0);
+      for (const FrontierEntry& e : msg.frontier) {
+        if (e.author.index < wm.size()) wm[e.author.index] = std::max(wm[e.author.index], e.seq);
+      }
       WireMessage reply;
       reply.kind = WireMessage::Kind::kReadReply;
       reply.read_id = msg.read_id;
-      reply.view = view_;  // full local view, as Algorithm 3 specifies
+      reply.frontier_echo = frontier_digest(msg.frontier);
+      for (const SignedAppend& rec : view_) {
+        if (rec.author.index >= wm.size() || rec.seq >= wm[rec.author.index]) {
+          reply.view.push_back(rec);
+        }
+      }
+      if (msg.frontier.empty()) {
+        ++stats_.reads_served_full;
+      } else {
+        ++stats_.reads_served_delta;
+      }
+      stats_.read_records_sent += reply.view.size();
       net_->send(id_, from, std::move(reply));
       break;
     }
     case WireMessage::Kind::kReadReply: {
       const auto it = pending_reads_.find(msg.read_id);
       if (it == pending_reads_.end() || it->second.finished) return;
-      // Merge every validly signed record (Algorithm 3 line 6).
+      PendingRead& pr = it->second;
+      if (msg.frontier_echo != pr.expected_echo) {
+        // The responder answered a frontier we did not send: divergence
+        // (corruption or adversary). Fall back to one full read with the
+        // same read id; in-flight replies to the old frontier are then
+        // ignored by the same echo check.
+        if (!pr.fell_back) {
+          pr.fell_back = true;
+          pr.responders.clear();
+          ++stats_.read_fallbacks;
+          WireMessage retry;
+          retry.kind = WireMessage::Kind::kReadReq;
+          retry.read_id = msg.read_id;
+          pr.expected_echo = frontier_digest(retry.frontier);  // empty frontier
+          net_->broadcast(id_, retry);
+        }
+        return;
+      }
+      // Merge every validly signed record (Algorithm 3 line 6). A delta
+      // reply is a subsequence of the responder's view containing every
+      // record above our watermark — i.e. everything we could be missing —
+      // so the merged result is identical to the full-view merge.
       for (const SignedAppend& rec : msg.view) {
-        if (rec.sig.signer == rec.author && keys_->verify(rec.digest(), rec.sig)) {
+        if (rec.sig.signer == rec.author && verifier_.verify(rec.digest(), rec.sig)) {
           admit(rec);
         }
       }
-      it->second.responders.insert(from.index);
-      if (it->second.responders.size() >= quorum_) {
-        it->second.finished = true;
-        auto done = std::move(it->second.done);
+      pr.responders.insert(from.index);
+      if (pr.responders.size() >= quorum_) {
+        pr.finished = true;
+        auto done = std::move(pr.done);
         pending_reads_.erase(it);
         if (done) done(view_);
       }
@@ -107,6 +192,7 @@ ForgerNode::ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::K
             !keys_->verify(msg.append.digest(), msg.append.sig) || forged_ > 64) {
           return;
         }
+        if (replay_pool_.size() < 256) replay_pool_.push_back(msg.append);
         // Ack (so it cannot be blamed for liveness) but also inject a
         // forged record in the victim's name: signed with the forger's own
         // key, because the victim's key is out of reach — the registry
@@ -129,16 +215,33 @@ ForgerNode::ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::K
         break;
       }
       case WireMessage::Kind::kReadReq: {
-        // Reply with a view containing one more forgery.
-        SignedAppend fake;
-        fake.author = victim_;
-        fake.seq = 2'000'000 + forged_++;
-        fake.value = -43;
-        fake.sig = keys_->sign(id_, fake.digest());
+        // Echo the frontier digest correctly (a wrong echo would merely
+        // trigger the reader's full-read fallback; this attack is nastier:
+        // a well-formed delta reply whose payload lies). The view carries
+        // one above-frontier forgery plus replays of genuine records from
+        // *below* the reader's frontier — records the reader already holds.
+        // Correct readers must reject the forgery (Lemma 4.1) and
+        // deduplicate the replays without any view corruption.
+        std::vector<u32> wm;
+        for (const FrontierEntry& e : msg.frontier) {
+          if (e.author.index >= wm.size()) wm.resize(e.author.index + 1, 0);
+          wm[e.author.index] = std::max(wm[e.author.index], e.seq);
+        }
         WireMessage reply;
         reply.kind = WireMessage::Kind::kReadReply;
         reply.read_id = msg.read_id;
+        reply.frontier_echo = frontier_digest(msg.frontier);
+        SignedAppend fake;
+        fake.author = victim_;
+        fake.seq = 2'000'000 + forged_++;  // far above any honest watermark
+        fake.value = -43;
+        fake.sig = keys_->sign(id_, fake.digest());
         reply.view.push_back(fake);
+        for (const SignedAppend& rec : replay_pool_) {
+          if (rec.author.index < wm.size() && rec.seq < wm[rec.author.index]) {
+            reply.view.push_back(rec);  // below-frontier replay
+          }
+        }
         net_->send(id_, from, std::move(reply));
         break;
       }

@@ -13,10 +13,30 @@
 // intersection makes every completed append visible to every subsequent
 // read (Lemma 4.2) as long as a majority of nodes is correct and
 // available.
+//
+// Two wire-volume optimisations on top of the textbook algorithms (the
+// merged views and the quorum logic are unchanged; DESIGN.md §9):
+//
+//   * Frontier (delta) reads — the read request carries the reader's
+//     per-author watermark vector; responders ship only records above it,
+//     so a steady-state read costs O(n·Δ) records instead of O(n·k)
+//     history. Exactness rests on the append memory's per-register total
+//     order: one record per (author, seq), and the watermark is the length
+//     of the contiguous prefix the reader already holds. Every reply
+//     echoes a digest of the frontier it answers; on a mismatched echo the
+//     reader falls back to one full (empty-frontier) read with the same
+//     read id. With `AbdConfig::delta_reads == false` the reader sends an
+//     empty frontier and the protocol is byte-identical to the textbook
+//     full-view read — responder code is the same in both modes, which the
+//     equivalence property tests exploit.
+//
+//   * Append pipelining — up to `max_pipeline` appends in flight at once,
+//     keyed by record digest so acks resolve independently; excess
+//     begin_append calls queue and launch in order as slots free up.
 #pragma once
 
+#include <deque>
 #include <functional>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -25,55 +45,99 @@
 
 namespace amm::mp {
 
+/// Tuning knobs for AbdNode. Defaults are the optimised protocol; the
+/// legacy full-view configuration is kept as the test reference.
+struct AbdConfig {
+  /// When false, read requests carry an empty frontier — responders (whose
+  /// code does not branch on the mode) then return their full local view,
+  /// reproducing Algorithm 3 verbatim.
+  bool delta_reads = true;
+  /// Max appends in flight; further begin_append calls queue in order.
+  u32 max_pipeline = 32;
+};
+
 /// A correct node running the ABD-style simulation. Written against the
 /// Transport seam, so the same protocol code runs over the simulated
 /// Network and over the real TCP transport (net/transport.hpp).
 class AbdNode {
  public:
-  AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys);
+  /// Wire-volume and cache counters (satellite metrics for E10/cluster).
+  struct Stats {
+    u64 reads_served_full = 0;   ///< kReadReq answered with an empty frontier
+    u64 reads_served_delta = 0;  ///< kReadReq answered above a non-empty frontier
+    u64 read_records_sent = 0;   ///< records shipped in our kReadReply messages
+    u64 read_fallbacks = 0;      ///< our delta reads that fell back to a full read
+  };
+
+  AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys, AbdConfig config = {});
 
   NodeId id() const { return id_; }
+  const AbdConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  u64 verify_cache_hits() const { return verifier_.hits(); }
 
   /// Local view M_v, in arrival order.
   const std::vector<SignedAppend>& local_view() const { return view_; }
 
   /// Starts an M.append(value); `done` fires when > n/2 acks arrived.
+  /// Up to `config.max_pipeline` appends run concurrently; beyond that the
+  /// call queues and launches in order as earlier appends complete.
   void begin_append(i64 value, std::function<void()> done);
 
   /// Starts an M.read(); `done` receives the merged view.
   void begin_read(std::function<void(const std::vector<SignedAppend>&)> done);
 
-  /// Number of append operations this node has completed (its next seq).
+  /// Number of append operations this node has started (its next seq).
   u32 appends_issued() const { return next_seq_; }
+
+  /// Appends currently awaiting their quorum (in flight on the wire).
+  usize appends_in_flight() const { return pending_appends_.size(); }
+
+  /// begin_append calls parked behind a full pipeline.
+  usize appends_queued() const { return append_backlog_.size(); }
 
  private:
   void handle(NodeId from, const WireMessage& msg);
-  bool known(const SignedAppend& rec) const {
-    return known_.contains(rec.digest());
-  }
+  bool known(const SignedAppend& rec) const { return known_.contains(rec.digest()); }
   void admit(const SignedAppend& rec);
+  void launch_append(i64 value, std::function<void()> done);
+  std::vector<FrontierEntry> make_frontier() const;
 
   struct PendingAppend {
-    u64 digest = 0;
     std::unordered_set<u32> ackers;
+    std::function<void()> done;
+  };
+  struct QueuedAppend {
+    i64 value = 0;
     std::function<void()> done;
   };
   struct PendingRead {
     std::unordered_set<u32> responders;
     std::function<void(const std::vector<SignedAppend>&)> done;
     bool finished = false;
+    bool fell_back = false;   ///< one full-read retry per read, at most
+    u64 expected_echo = 0;    ///< digest of the frontier this read awaits
   };
 
   NodeId id_;
   Transport* net_;
   const crypto::KeyRegistry* keys_;
+  mutable crypto::VerifyCache verifier_;
+  AbdConfig config_;
   u32 quorum_;  // floor(n/2) + 1
   u32 next_seq_ = 0;
   u64 next_read_id_ = 0;
   std::vector<SignedAppend> view_;
   std::unordered_set<u64> known_;  // digests present in view_
-  std::optional<PendingAppend> pending_append_;
+  // Frontier bookkeeping: watermark_[a] = length of the contiguous prefix
+  // of author a's records in view_; seqs admitted out of order (via read
+  // merges) park in parked_[a] until the prefix catches up.
+  std::vector<u32> watermark_;
+  std::vector<std::unordered_set<u32>> parked_;
+  std::unordered_map<u64, PendingAppend> pending_appends_;  // keyed by record digest
+  std::deque<QueuedAppend> append_backlog_;
   std::unordered_map<u64, PendingRead> pending_reads_;
+  Stats stats_;
 };
 
 /// A crashed node: attached to the network but never responds. With
@@ -85,9 +149,11 @@ class CrashedNode {
   }
 };
 
-/// A Byzantine forger: acks everything instantly (harmless) and injects
-/// append records with forged signatures for other authors; correct nodes
-/// must discard them (Lemma 4.1's argument).
+/// A Byzantine forger: acks everything instantly (harmless), injects
+/// append records with forged signatures for other authors, and answers
+/// read requests with above-frontier forgeries plus below-frontier replays
+/// of genuine records; correct nodes must discard the forgeries and
+/// deduplicate the replays (Lemma 4.1's argument).
 class ForgerNode {
  public:
   ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::KeyRegistry& keys);
@@ -98,6 +164,7 @@ class ForgerNode {
   Transport* net_;
   const crypto::KeyRegistry* keys_;
   u32 forged_ = 0;
+  std::vector<SignedAppend> replay_pool_;  // genuine records seen, for replays
 };
 
 }  // namespace amm::mp

@@ -3,11 +3,11 @@
 namespace amm::mp {
 
 SimulatedAppendMemory::SimulatedAppendMemory(u32 n, SimTime min_delay, SimTime max_delay,
-                                             u64 seed)
+                                             u64 seed, AbdConfig config)
     : keys_(n, seed), net_(n, min_delay, max_delay, Rng(seed + 1)) {
   nodes_.reserve(n);
   for (u32 i = 0; i < n; ++i) {
-    nodes_.push_back(std::make_unique<AbdNode>(NodeId{i}, net_, keys_));
+    nodes_.push_back(std::make_unique<AbdNode>(NodeId{i}, net_, keys_, config));
   }
 }
 

@@ -24,7 +24,11 @@ namespace amm::mp {
 class SimulatedAppendMemory {
  public:
   /// Creates the cluster: `n` correct ABD nodes over a fresh network.
-  SimulatedAppendMemory(u32 n, SimTime min_delay, SimTime max_delay, u64 seed);
+  /// `config` is applied to every node (defaults: delta reads on, appends
+  /// pipelined; pass `{.delta_reads = false}` for the legacy full-view
+  /// reference used by the equivalence tests).
+  SimulatedAppendMemory(u32 n, SimTime min_delay, SimTime max_delay, u64 seed,
+                        AbdConfig config = {});
 
   u32 node_count() const { return static_cast<u32>(nodes_.size()); }
   Network& network() { return net_; }

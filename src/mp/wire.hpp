@@ -38,6 +38,20 @@ struct SignedAppend {
   }
 };
 
+/// One entry of a reader's frontier: a per-author watermark. `seq` is the
+/// length of the *contiguous prefix* of `author`'s records the reader
+/// holds — it holds every seq < `seq` (and possibly some above, gathered
+/// out of order by earlier read merges; those are deduplicated on arrival).
+/// A responder serving a delta read ships only records with
+/// seq >= frontier[author], which is exact because the append memory gives
+/// each author's register a total order: one record per (author, seq).
+struct FrontierEntry {
+  NodeId author;
+  u32 seq = 0;
+
+  bool operator==(const FrontierEntry&) const = default;
+};
+
 /// Exact encoded field widths (little-endian, fixed width). net/codec
 /// writes fields in declaration order using these widths; change them only
 /// together with the codec.
@@ -45,7 +59,9 @@ inline constexpr usize kWireSigBytes = 4 + 8;                    // signer + tag
 inline constexpr usize kWireRecordBytes = 4 + 4 + 8 + kWireSigBytes;  // author+seq+value+sig
 inline constexpr usize kWireKindBytes = 1;
 inline constexpr usize kWireReadIdBytes = 8;
-inline constexpr usize kWireCountBytes = 4;  // view length prefix in kReadReply
+inline constexpr usize kWireCountBytes = 4;   // length prefix (view / frontier)
+inline constexpr usize kWireFrontierEntryBytes = 4 + 4;  // author + seq
+inline constexpr usize kWireEchoBytes = 8;    // digest-of-frontier echo in kReadReply
 
 /// Wire format: a tagged union over the four ABD message kinds.
 struct WireMessage {
@@ -55,7 +71,9 @@ struct WireMessage {
   SignedAppend append;              ///< kAppend: the record; kAck: the acked record
   crypto::Signature ack_sig;        ///< kAck: acker's signature over the record digest
   u64 read_id = 0;                  ///< kReadReq / kReadReply correlation id
-  std::vector<SignedAppend> view;   ///< kReadReply: full local view
+  std::vector<FrontierEntry> frontier;  ///< kReadReq: reader's watermarks (empty = full read)
+  u64 frontier_echo = 0;            ///< kReadReply: digest of the frontier being answered
+  std::vector<SignedAppend> view;   ///< kReadReply: records above the frontier
 
   /// Exact serialized payload size in bytes (the net/codec encoding; the
   /// 4-byte frame length prefix of the TCP transport is not included).
@@ -66,13 +84,26 @@ struct WireMessage {
       case Kind::kAck:
         return kWireKindBytes + kWireRecordBytes + kWireSigBytes;
       case Kind::kReadReq:
-        return kWireKindBytes + kWireReadIdBytes;
-      case Kind::kReadReply:
         return kWireKindBytes + kWireReadIdBytes + kWireCountBytes +
+               frontier.size() * kWireFrontierEntryBytes;
+      case Kind::kReadReply:
+        return kWireKindBytes + kWireReadIdBytes + kWireEchoBytes + kWireCountBytes +
                view.size() * kWireRecordBytes;
     }
     return kWireKindBytes;
   }
 };
+
+/// Digest of a frontier, echoed back in every kReadReply so the reader can
+/// tell which request (delta or full-read fallback) a reply answers —
+/// stale replies to a superseded frontier are dropped by echo mismatch.
+inline u64 frontier_digest(const std::vector<FrontierEntry>& frontier) {
+  crypto::DigestBuilder b;
+  b.add(0x66726f6e74696572ULL);  // domain separator ("frontier")
+  for (const FrontierEntry& e : frontier) {
+    b.add((static_cast<u64>(e.author.index) << 32) | e.seq);
+  }
+  return b.finish();
+}
 
 }  // namespace amm::mp

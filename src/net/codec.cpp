@@ -90,9 +90,15 @@ std::vector<u8> encode_message(const mp::WireMessage& msg) {
       break;
     case mp::WireMessage::Kind::kReadReq:
       enc.put_u64(msg.read_id);
+      enc.put_u32(static_cast<u32>(msg.frontier.size()));
+      for (const mp::FrontierEntry& e : msg.frontier) {
+        enc.put_u32(e.author.index);
+        enc.put_u32(e.seq);
+      }
       break;
     case mp::WireMessage::Kind::kReadReply:
       enc.put_u64(msg.read_id);
+      enc.put_u64(msg.frontier_echo);
       enc.put_u32(static_cast<u32>(msg.view.size()));
       for (const mp::SignedAppend& rec : msg.view) encode_record(enc, rec);
       break;
@@ -127,20 +133,35 @@ std::optional<mp::WireMessage> decode_message(std::span<const u8> payload) {
     }
     case mp::WireMessage::Kind::kReadReq: {
       const auto rid = dec.get_u64();
-      if (!rid) return std::nullopt;
+      const auto count = dec.get_u32();
+      if (!rid || !count) return std::nullopt;
+      // The count must match the remaining bytes exactly — a lying count
+      // is corruption, not a short frontier.
+      if (dec.remaining() != static_cast<usize>(*count) * mp::kWireFrontierEntryBytes) {
+        return std::nullopt;
+      }
       msg.read_id = *rid;
+      msg.frontier.reserve(*count);
+      for (u32 i = 0; i < *count; ++i) {
+        const auto author = dec.get_u32();
+        const auto seq = dec.get_u32();
+        if (!dec.ok()) return std::nullopt;
+        msg.frontier.push_back(mp::FrontierEntry{NodeId{*author}, *seq});
+      }
       break;
     }
     case mp::WireMessage::Kind::kReadReply: {
       const auto rid = dec.get_u64();
+      const auto echo = dec.get_u64();
       const auto count = dec.get_u32();
-      if (!rid || !count) return std::nullopt;
+      if (!rid || !echo || !count) return std::nullopt;
       // The count must match the remaining bytes exactly — a lying count
       // is corruption, not a short view.
       if (dec.remaining() != static_cast<usize>(*count) * mp::kWireRecordBytes) {
         return std::nullopt;
       }
       msg.read_id = *rid;
+      msg.frontier_echo = *echo;
       msg.view.reserve(*count);
       for (u32 i = 0; i < *count; ++i) {
         const auto rec = decode_record(dec);
@@ -223,6 +244,11 @@ std::vector<u8> encode_ctl_reply(const CtlReply& rep) {
   enc.put_u64(rep.stats.reconnects);
   enc.put_u64(rep.stats.auth_rejects);
   enc.put_u64(rep.stats.sig_rejects);
+  enc.put_u64(rep.stats.reads_served_full);
+  enc.put_u64(rep.stats.reads_served_delta);
+  enc.put_u64(rep.stats.read_records_sent);
+  enc.put_u64(rep.stats.read_fallbacks);
+  enc.put_u64(rep.stats.verify_cache_hits);
   return enc.take();
 }
 
@@ -251,10 +277,12 @@ std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
   }
   const auto f = [&dec]() { return dec.get_u64(); };
   const auto messages = f(), bytes = f(), view_size = f(), appends = f(), reconnects = f(),
-             auth_rejects = f(), sig_rejects = f();
+             auth_rejects = f(), sig_rejects = f(), reads_full = f(), reads_delta = f(),
+             read_records = f(), fallbacks = f(), cache_hits = f();
   if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
   rep.stats = CtlStats{*messages, *bytes, *view_size, *appends, *reconnects, *auth_rejects,
-                       *sig_rejects};
+                       *sig_rejects, *reads_full, *reads_delta, *read_records, *fallbacks,
+                       *cache_hits};
   return rep;
 }
 

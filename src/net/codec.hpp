@@ -123,6 +123,11 @@ struct CtlStats {
   u64 reconnects = 0;
   u64 auth_rejects = 0;
   u64 sig_rejects = 0;
+  u64 reads_served_full = 0;    ///< read requests answered with a full view
+  u64 reads_served_delta = 0;   ///< read requests answered above a frontier
+  u64 read_records_sent = 0;    ///< records shipped in this node's read replies
+  u64 read_fallbacks = 0;       ///< this node's delta reads that fell back to full
+  u64 verify_cache_hits = 0;    ///< signature checks answered by the verify cache
 };
 
 struct CtlReply {

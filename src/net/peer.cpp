@@ -18,22 +18,22 @@ bool verify_hello(const Hello& hello, u32 node_count, const crypto::KeyRegistry&
   return keys.verify(hello.digest(), hello.sig);
 }
 
-Admission validate_message(mp::WireMessage& msg, NodeId from, const crypto::KeyRegistry& keys,
+Admission validate_message(mp::WireMessage& msg, NodeId from, crypto::VerifyCache& verifier,
                            u64* filtered) {
   switch (msg.kind) {
     case mp::WireMessage::Kind::kAppend:
       if (msg.append.sig.signer != msg.append.author) return Admission::kReject;
-      if (!keys.verify(msg.append.digest(), msg.append.sig)) return Admission::kReject;
+      if (!verifier.verify(msg.append.digest(), msg.append.sig)) return Admission::kReject;
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kAck:
       if (msg.ack_sig.signer != from) return Admission::kReject;
-      if (!keys.verify(msg.append.digest(), msg.ack_sig)) return Admission::kReject;
+      if (!verifier.verify(msg.append.digest(), msg.ack_sig)) return Admission::kReject;
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReq:
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReply: {
-      const auto invalid = [&keys](const mp::SignedAppend& rec) {
-        return rec.sig.signer != rec.author || !keys.verify(rec.digest(), rec.sig);
+      const auto invalid = [&verifier](const mp::SignedAppend& rec) {
+        return rec.sig.signer != rec.author || !verifier.verify(rec.digest(), rec.sig);
       };
       const auto removed = std::erase_if(msg.view, invalid);
       if (filtered != nullptr) *filtered += removed;

@@ -68,8 +68,15 @@ bool verify_hello(const Hello& hello, u32 node_count, const crypto::KeyRegistry&
 /// the signer must equal the session's authenticated peer (an acker cannot
 /// vote in someone else's name). kReadReply: invalidly signed records are
 /// removed from msg.view in place (`*filtered` counts them); the reply
-/// itself is still delivered. kReadReq carries no signature.
-Admission validate_message(mp::WireMessage& msg, NodeId from, const crypto::KeyRegistry& keys,
+/// itself is still delivered. kReadReq carries no signature (the frontier
+/// is advisory: a lying frontier can only change *which* records come
+/// back, and the reader's own merge re-verifies all of them).
+///
+/// Verification goes through a VerifyCache, so a record crossing this wire
+/// check and then the protocol-layer re-check (or arriving in many read
+/// replies) costs one registry verification; forged signatures are never
+/// cached and are re-rejected on every delivery.
+Admission validate_message(mp::WireMessage& msg, NodeId from, crypto::VerifyCache& verifier,
                            u64* filtered);
 
 }  // namespace amm::net

@@ -42,7 +42,11 @@ bool resolve(const Endpoint& ep, sockaddr_in* out) {
 }  // namespace
 
 TcpTransport::TcpTransport(TransportConfig config, const crypto::KeyRegistry& keys, Rng rng)
-    : config_(std::move(config)), keys_(&keys), rng_(rng), links_(config_.peers.size()) {
+    : config_(std::move(config)),
+      keys_(&keys),
+      verifier_(keys),
+      rng_(rng),
+      links_(config_.peers.size()) {
   AMM_EXPECTS(!config_.peers.empty());
   AMM_EXPECTS(config_.self.index < config_.peers.size());
   AMM_EXPECTS(keys.node_count() >= node_count());
@@ -301,7 +305,7 @@ bool TcpTransport::handle_frame(Session& session, Frame& frame) {
       auto msg = decode_message(frame.payload);
       if (!msg) return false;  // corrupt payload: drop the connection
       // Lemma 4.1 on the wire: invalid signatures never reach the handler.
-      if (validate_message(*msg, session.peer, *keys_, &sig_rejects_) == Admission::kReject) {
+      if (validate_message(*msg, session.peer, verifier_, &sig_rejects_) == Admission::kReject) {
         ++sig_rejects_;
         return true;  // reject the message, keep the session
       }

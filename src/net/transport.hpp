@@ -105,6 +105,7 @@ class TcpTransport final : public mp::Transport {
   u64 auth_rejects() const { return auth_rejects_; }
   u64 sig_rejects() const { return sig_rejects_; }
   u64 frames_dropped() const { return frames_dropped_; }
+  u64 verify_cache_hits() const { return verifier_.hits(); }
   u32 connected_outbound() const;
 
  private:
@@ -136,6 +137,7 @@ class TcpTransport final : public mp::Transport {
 
   TransportConfig config_;
   const crypto::KeyRegistry* keys_;
+  crypto::VerifyCache verifier_;  ///< wire-admission verify cache (successes only)
   Rng rng_;
   Handler handler_;
   CtlHandler ctl_handler_;

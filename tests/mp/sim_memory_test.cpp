@@ -55,13 +55,36 @@ TEST(FullInformationRounds, MessagesQuadraticPerRound) {
 }
 
 TEST(FullInformationRounds, BytesGrowWithHistory) {
-  // §4: read replies ship the full local view, so later rounds cost more
-  // bytes than earlier ones — strictly monotone growth.
-  SimulatedAppendMemory memory(5, 0.05, 0.3, 6);
+  // §4: with legacy full-view reads (the paper's Algorithm 3, kept as the
+  // reference configuration) read replies ship the full local view, so
+  // later rounds cost more bytes than earlier ones — strictly monotone.
+  SimulatedAppendMemory memory(5, 0.05, 0.3, 6, AbdConfig{.delta_reads = false});
   const auto costs = run_full_information_rounds(memory, 4);
   for (usize r = 1; r < costs.size(); ++r) {
     EXPECT_GT(costs[r].bytes, costs[r - 1].bytes) << "round " << r;
   }
+}
+
+TEST(FullInformationRounds, DeltaReadsFlattenByteGrowth) {
+  // With frontier reads (the default) each round's reads ship only the
+  // current round's records: per-round bytes reach a plateau instead of
+  // growing with the whole history, while the message count — and thus the
+  // protocol structure — is unchanged.
+  SimulatedAppendMemory memory(5, 0.05, 0.3, 6);
+  const auto costs = run_full_information_rounds(memory, 5);
+  ASSERT_GE(costs.size(), 3u);
+  for (const auto& c : costs) {
+    EXPECT_EQ(c.messages, 4u * 5 * 5);  // structure unchanged: 4n² per round
+  }
+  // Steady state from round 2 on: every read request names every author in
+  // its frontier and every reply ships only the round's delta.
+  for (usize r = 2; r < costs.size(); ++r) {
+    EXPECT_EQ(costs[r].bytes, costs[1].bytes) << "round " << r;
+  }
+  // And the plateau is below the legacy cost of the same round.
+  SimulatedAppendMemory legacy(5, 0.05, 0.3, 6, AbdConfig{.delta_reads = false});
+  const auto legacy_costs = run_full_information_rounds(legacy, 5);
+  EXPECT_LT(costs.back().bytes, legacy_costs.back().bytes);
 }
 
 }  // namespace

@@ -23,12 +23,21 @@ mp::SignedAppend make_record(Rng& rng, u32 node_count) {
 }
 
 mp::WireMessage make_message(Rng& rng, u32 kind_index, usize view_size) {
+  // `view_size` sizes whichever variable-length payload the kind carries:
+  // the frontier for kReadReq, the record view for kReadReply.
   mp::WireMessage msg;
   msg.kind = static_cast<mp::WireMessage::Kind>(kind_index);
   msg.append = make_record(rng, 8);
   msg.ack_sig = crypto::Signature{NodeId{static_cast<u32>(rng.uniform_below(8))}, rng.next()};
   msg.read_id = rng.next();
+  if (msg.kind == mp::WireMessage::Kind::kReadReq) {
+    for (usize i = 0; i < view_size; ++i) {
+      msg.frontier.push_back(mp::FrontierEntry{NodeId{static_cast<u32>(rng.uniform_below(8))},
+                                               static_cast<u32>(rng.uniform_below(1u << 20))});
+    }
+  }
   if (msg.kind == mp::WireMessage::Kind::kReadReply) {
+    msg.frontier_echo = rng.next();
     for (usize i = 0; i < view_size; ++i) msg.view.push_back(make_record(rng, 8));
   }
   return msg;
@@ -42,9 +51,12 @@ bool equal(const mp::WireMessage& a, const mp::WireMessage& b) {
     case mp::WireMessage::Kind::kAck:
       return a.append == b.append && a.append.sig == b.append.sig && a.ack_sig == b.ack_sig;
     case mp::WireMessage::Kind::kReadReq:
-      return a.read_id == b.read_id;
+      return a.read_id == b.read_id && a.frontier == b.frontier;
     case mp::WireMessage::Kind::kReadReply: {
-      if (a.read_id != b.read_id || a.view.size() != b.view.size()) return false;
+      if (a.read_id != b.read_id || a.frontier_echo != b.frontier_echo ||
+          a.view.size() != b.view.size()) {
+        return false;
+      }
       for (usize i = 0; i < a.view.size(); ++i) {
         if (!(a.view[i] == b.view[i]) || !(a.view[i].sig == b.view[i].sig)) return false;
       }
@@ -140,8 +152,44 @@ TEST(Codec, LyingViewCountRejected) {
   Rng rng(18);
   mp::WireMessage msg = make_message(rng, 3, 3);
   std::vector<u8> bytes = encode_message(msg);
-  bytes[1 + 8] = 200;  // count field: claims 200 records, carries 3
+  bytes[1 + 8 + 8] = 200;  // count field (after kind+rid+echo): claims 200, carries 3
   EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Codec, LyingFrontierCountRejected) {
+  Rng rng(21);
+  mp::WireMessage msg = make_message(rng, 2, 3);
+  std::vector<u8> bytes = encode_message(msg);
+  bytes[1 + 8] = 200;  // count field (after kind+rid): claims 200 entries, carries 3
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Codec, FrontierWireSizesExact) {
+  // The §9 byte accounting in closed form: a read request costs
+  // 13 + 8·|frontier| bytes, a read reply 21 + 28·|view| — pinned here so
+  // a codec change cannot silently shift the E10/cluster numbers.
+  Rng rng(22);
+  for (const usize size : {usize{0}, usize{1}, usize{5}, usize{333}}) {
+    const mp::WireMessage req = make_message(rng, 2, size);
+    EXPECT_EQ(req.wire_size(), 13 + 8 * size);
+    EXPECT_EQ(encode_message(req).size(), req.wire_size());
+    const mp::WireMessage reply = make_message(rng, 3, size);
+    EXPECT_EQ(reply.wire_size(), 21 + 28 * size);
+    EXPECT_EQ(encode_message(reply).size(), reply.wire_size());
+  }
+}
+
+TEST(Codec, FrontierDigestDistinguishesFrontiers) {
+  // The fallback detection depends on distinct frontiers hashing apart and
+  // the digest being order-sensitive (entries are emitted in author order).
+  const std::vector<mp::FrontierEntry> empty;
+  const std::vector<mp::FrontierEntry> one{{NodeId{0}, 5}};
+  const std::vector<mp::FrontierEntry> bumped{{NodeId{0}, 6}};
+  const std::vector<mp::FrontierEntry> other_author{{NodeId{1}, 5}};
+  EXPECT_NE(mp::frontier_digest(empty), mp::frontier_digest(one));
+  EXPECT_NE(mp::frontier_digest(one), mp::frontier_digest(bumped));
+  EXPECT_NE(mp::frontier_digest(one), mp::frontier_digest(other_author));
+  EXPECT_EQ(mp::frontier_digest(one), mp::frontier_digest({{NodeId{0}, 5}}));
 }
 
 TEST(Codec, FrameExtraction) {
@@ -224,11 +272,16 @@ TEST(Codec, CtlRoundTrips) {
   reply.decision = -1;
   reply.decided_over = 9;
   for (int i = 0; i < 5; ++i) reply.view.push_back(make_record(rng, 4));
-  reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7};
+  reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
   const auto rep = decode_ctl_reply(encode_ctl_reply(reply));
   ASSERT_TRUE(rep.has_value());
   EXPECT_EQ(rep->view.size(), 5u);
   EXPECT_EQ(rep->stats.reconnects, 5u);
+  EXPECT_EQ(rep->stats.reads_served_full, 8u);
+  EXPECT_EQ(rep->stats.reads_served_delta, 9u);
+  EXPECT_EQ(rep->stats.read_records_sent, 10u);
+  EXPECT_EQ(rep->stats.read_fallbacks, 11u);
+  EXPECT_EQ(rep->stats.verify_cache_hits, 12u);
   EXPECT_TRUE(rep->ok);
 
   // Truncated control frames are rejected, not misread.

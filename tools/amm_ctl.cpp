@@ -1,22 +1,25 @@
 // amm_ctl — submit operations to a running amm_node and print the result.
 //
-//   amm_ctl --port P [--host 127.0.0.1] --op append --value V [--count C]
+//   amm_ctl --port P [--host 127.0.0.1] --op append --value V [--count C] [--window W]
 //   amm_ctl --port P --op read
 //   amm_ctl --port P --op decide --k K
 //   amm_ctl --port P --op stats
 //   amm_ctl --port P --op kick          # force the node's outbound links down
 //
-// One TCP connection, strict request/reply. `--count C` repeats an append
-// with values V, V+1, …, V+C−1 over the same connection (the loopback
-// cluster test drives its 1000-append run through this). Every reply the
-// node sends reflects a completed quorum operation, so exit status 0 means
-// the cluster actually executed the op, not that it was merely submitted.
+// One TCP connection. `--count C` repeats an append with values V, V+1, …,
+// V+C−1 over the same connection (the loopback cluster test drives its
+// 1000-append run through this); `--window W` keeps up to W of them in
+// flight at once — the node's AbdNode pipelines them through the quorum
+// protocol. Every reply the node sends reflects a completed quorum
+// operation, so exit status 0 means the cluster actually executed the op,
+// not that it was merely submitted.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -60,12 +63,16 @@ bool send_all(int fd, const std::vector<u8>& bytes) {
   return true;
 }
 
-bool roundtrip(int fd, const net::CtlRequest& request, net::CtlReply* reply) {
+bool send_request(int fd, const net::CtlRequest& request) {
   std::vector<u8> frame;
   net::append_frame(frame, net::FrameKind::kCtlReq, net::encode_ctl_request(request));
-  if (!send_all(fd, frame)) return false;
+  return send_all(fd, frame);
+}
 
-  std::vector<u8> rx;
+/// Receives one reply. `rx` persists across calls so bytes of a later
+/// reply arriving in the same chunk are not lost — required for the
+/// sliding-window append mode, where several requests are in flight.
+bool recv_reply(int fd, std::vector<u8>& rx, net::CtlReply* reply) {
   for (;;) {
     net::Frame received;
     switch (net::extract_frame(rx, &received)) {
@@ -91,6 +98,11 @@ bool roundtrip(int fd, const net::CtlRequest& request, net::CtlReply* reply) {
   }
 }
 
+bool roundtrip(int fd, std::vector<u8>& rx, const net::CtlRequest& request,
+               net::CtlReply* reply) {
+  return send_request(fd, request) && recv_reply(fd, rx, reply);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,24 +120,39 @@ int main(int argc, char** argv) {
 
   int status = 0;
   net::CtlReply reply;
+  std::vector<u8> rx;  // shared receive buffer; replies can arrive batched
   if (op == "append") {
     const i64 value = args.get_int("value", 1);
     const i64 count = args.get_int("count", 1);
+    // --window W keeps up to W appends in flight on the one connection;
+    // the node's AbdNode pipelines them (W=1 is the old strict lock-step).
+    const i64 window = std::max<i64>(1, args.get_int("window", 1));
+    i64 sent = 0;
     i64 completed = 0;
-    for (i64 i = 0; i < count; ++i) {
-      net::CtlRequest request{net::CtlOp::kAppend, value + i, 0};
-      if (!roundtrip(fd, request, &reply) || !reply.ok) {
-        std::fprintf(stderr, "amm_ctl: append %lld/%lld failed\n",
-                     static_cast<long long>(i + 1), static_cast<long long>(count));
-        status = 1;
+    bool failed = false;
+    while (completed < count && !failed) {
+      while (sent < count && sent - completed < window) {
+        if (!send_request(fd, net::CtlRequest{net::CtlOp::kAppend, value + sent, 0})) {
+          failed = true;
+          break;
+        }
+        ++sent;
+      }
+      if (failed || !recv_reply(fd, rx, &reply) || !reply.ok) {
+        failed = true;
         break;
       }
       ++completed;
     }
+    if (failed) {
+      std::fprintf(stderr, "amm_ctl: append %lld/%lld failed\n",
+                   static_cast<long long>(completed + 1), static_cast<long long>(count));
+      status = 1;
+    }
     std::printf("appended count=%lld first=%lld\n", static_cast<long long>(completed),
                 static_cast<long long>(value));
   } else if (op == "read") {
-    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kRead, 0, 0}, &reply) && reply.ok) {
+    if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kRead, 0, 0}, &reply) && reply.ok) {
       std::printf("view count=%zu\n", reply.view.size());
       for (const mp::SignedAppend& rec : reply.view) {
         std::printf("record author=%u seq=%u value=%lld\n", rec.author.index, rec.seq,
@@ -137,7 +164,7 @@ int main(int argc, char** argv) {
     }
   } else if (op == "decide") {
     const u32 k = static_cast<u32>(args.get_int("k", 1));
-    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kDecide, 0, k}, &reply) && reply.ok) {
+    if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kDecide, 0, k}, &reply) && reply.ok) {
       std::printf("decision=%+lld over=%u\n", static_cast<long long>(reply.decision),
                   reply.decided_over);
     } else {
@@ -145,22 +172,28 @@ int main(int argc, char** argv) {
       status = 1;
     }
   } else if (op == "stats") {
-    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kStats, 0, 0}, &reply) && reply.ok) {
+    if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kStats, 0, 0}, &reply) && reply.ok) {
       std::printf("stats msgs=%llu bytes=%llu view=%llu appends=%llu reconnects=%llu "
-                  "auth_rejects=%llu sig_rejects=%llu\n",
+                  "auth_rejects=%llu sig_rejects=%llu reads_full=%llu reads_delta=%llu "
+                  "read_records_sent=%llu read_fallbacks=%llu verify_cache_hits=%llu\n",
                   static_cast<unsigned long long>(reply.stats.messages_sent),
                   static_cast<unsigned long long>(reply.stats.bytes_sent),
                   static_cast<unsigned long long>(reply.stats.view_size),
                   static_cast<unsigned long long>(reply.stats.appends_issued),
                   static_cast<unsigned long long>(reply.stats.reconnects),
                   static_cast<unsigned long long>(reply.stats.auth_rejects),
-                  static_cast<unsigned long long>(reply.stats.sig_rejects));
+                  static_cast<unsigned long long>(reply.stats.sig_rejects),
+                  static_cast<unsigned long long>(reply.stats.reads_served_full),
+                  static_cast<unsigned long long>(reply.stats.reads_served_delta),
+                  static_cast<unsigned long long>(reply.stats.read_records_sent),
+                  static_cast<unsigned long long>(reply.stats.read_fallbacks),
+                  static_cast<unsigned long long>(reply.stats.verify_cache_hits));
     } else {
       std::fprintf(stderr, "amm_ctl: stats failed\n");
       status = 1;
     }
   } else if (op == "kick") {
-    if (roundtrip(fd, net::CtlRequest{net::CtlOp::kKick, 0, 0}, &reply) && reply.ok) {
+    if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kKick, 0, 0}, &reply) && reply.ok) {
       std::printf("kicked\n");
     } else {
       std::fprintf(stderr, "amm_ctl: kick failed\n");

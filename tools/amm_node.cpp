@@ -65,14 +65,15 @@ int main(int argc, char** argv) {
 
   mp::AbdNode node(NodeId{id}, transport, keys);
 
-  // Control-plane op queue: the ABD node runs one operation at a time
-  // (Algorithm 2's single outstanding append), so ctl requests serialize.
+  // Control-plane ops dispatch immediately: AbdNode pipelines appends
+  // internally (bounded by AbdConfig::max_pipeline, excess queues in
+  // order) and correlates reads by read id, so concurrent ctl requests
+  // keep the wire full instead of serializing on a single in-flight op.
   struct PendingCtl {
     u64 session = 0;
     net::CtlRequest request;
   };
   std::deque<PendingCtl> ctl_queue;
-  bool op_in_flight = false;
 
   transport.set_ctl_handler([&ctl_queue](u64 session, const net::CtlRequest& request) {
     ctl_queue.push_back(PendingCtl{session, request});
@@ -87,20 +88,23 @@ int main(int argc, char** argv) {
     stats.reconnects = transport.reconnects();
     stats.auth_rejects = transport.auth_rejects();
     stats.sig_rejects = transport.sig_rejects();
+    stats.reads_served_full = node.stats().reads_served_full;
+    stats.reads_served_delta = node.stats().reads_served_delta;
+    stats.read_records_sent = node.stats().read_records_sent;
+    stats.read_fallbacks = node.stats().read_fallbacks;
+    stats.verify_cache_hits = node.verify_cache_hits() + transport.verify_cache_hits();
     return stats;
   };
 
   const auto pump_ops = [&] {
-    while (!op_in_flight && !ctl_queue.empty()) {
+    while (!ctl_queue.empty()) {
       const PendingCtl item = ctl_queue.front();
       ctl_queue.pop_front();
       net::CtlReply reply;
       reply.op = item.request.op;
       switch (item.request.op) {
         case net::CtlOp::kAppend:
-          op_in_flight = true;
           node.begin_append(item.request.value, [&, item] {
-            op_in_flight = false;
             net::CtlReply done;
             done.op = net::CtlOp::kAppend;
             done.ok = true;
@@ -108,9 +112,7 @@ int main(int argc, char** argv) {
           });
           break;
         case net::CtlOp::kRead:
-          op_in_flight = true;
           node.begin_read([&, item](const std::vector<mp::SignedAppend>& view) {
-            op_in_flight = false;
             net::CtlReply done;
             done.op = net::CtlOp::kRead;
             done.ok = true;
@@ -119,9 +121,7 @@ int main(int argc, char** argv) {
           });
           break;
         case net::CtlOp::kDecide:
-          op_in_flight = true;
           node.begin_read([&, item](const std::vector<mp::SignedAppend>& view) {
-            op_in_flight = false;
             const net::Decision decision = net::decide_first_k(view, item.request.k);
             net::CtlReply done;
             done.op = net::CtlOp::kDecide;

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Compare a bench run against the pinned BENCH_sim.json baseline.
+"""Compare a bench run against a pinned BENCH_*.json baseline.
 
-Extracts every time-like metric from two collect_bench.py documents and
-reports per-metric ratios. A metric is:
+Extracts every time- or byte-like metric from two collect_bench.py
+documents and reports per-metric ratios. A metric is:
 
-  * a cell in a harness table whose column header contains a time unit
-    ("[ms]", "[s]", "[us]"), keyed by (binary, table caption, row label,
-    column) — row label = the leading non-time cells (n, history, ...);
+  * a cell in a harness table whose column header carries a unit marker
+    ("[ms]", "[s]", "[us]", "[B]" for wire bytes), keyed by (binary, table
+    caption, row label, column) — row label = the leading non-metric cells
+    (n, history, ...);
   * a google-benchmark entry's real_time, keyed by (binary, benchmark name).
+
+Byte columns make wire-volume regressions (a delta read quietly shipping
+the full view again) fail the diff exactly like a time regression would.
 
 Exit status is nonzero iff any metric regressed by more than --threshold
 (default 1.5x) — unless --report-only, which always exits 0 (the CI
@@ -27,7 +31,9 @@ import re
 import sys
 from pathlib import Path
 
-TIME_UNIT = re.compile(r"\[(ms|us|s)\]")
+METRIC_UNIT = re.compile(r"\[(ms|us|s|B)\]")
+# Derived ratio columns are neither labels nor metrics.
+DERIVED_COLS = ("speedup", "growth", "reduction")
 
 Metrics = dict[str, float]
 
@@ -53,15 +59,15 @@ def extract_metrics(doc: dict) -> Metrics:
             caption = table.get("caption", "")
             inner = table.get("table", {})
             headers = inner.get("headers", [])
-            time_cols = [i for i, hdr in enumerate(headers) if TIME_UNIT.search(hdr)]
-            if not time_cols:
+            metric_cols = [i for i, hdr in enumerate(headers) if METRIC_UNIT.search(hdr)]
+            if not metric_cols:
                 continue
-            label_cols = [i for i in range(len(headers)) if i not in time_cols]
+            label_cols = [i for i in range(len(headers)) if i not in metric_cols]
             for row in inner.get("rows", []):
                 label = ",".join(f"{headers[i]}={row[i]}" for i in label_cols
-                                 if i < len(row) and not TIME_UNIT.search(headers[i])
-                                 and headers[i] != "speedup")
-                for i in time_cols:
+                                 if i < len(row) and not METRIC_UNIT.search(headers[i])
+                                 and headers[i] not in DERIVED_COLS)
+                for i in metric_cols:
                     if i >= len(row):
                         continue
                     value = parse_number(row[i])
@@ -118,18 +124,30 @@ def self_test() -> None:
                          "run_type": "iteration"},
                     ],
                 },
+                # A wire-volume table: the bytes column is a metric, the
+                # derived reduction column is neither label nor metric.
+                "exp_e10_abd": {
+                    "tables": [{
+                        "caption": "steady state",
+                        "table": {
+                            "headers": ["n", "history", "delta read [B]", "reduction"],
+                            "rows": [["4", "10000", f"{100.0 * ms}", "800.0"]],
+                        },
+                    }],
+                },
             },
         }
 
     base = extract_metrics(doc(1.0))
-    assert len(base) == 2, f"expected 2 metrics, got {base}"
+    assert len(base) == 3, f"expected 3 metrics, got {base}"
     assert "bench_hotpath :: growth :: n=8,history=1000 :: extend [ms]" in base, base
+    assert "exp_e10_abd :: steady state :: n=4,history=10000 :: delta read [B]" in base, base
 
     _, same = compare(base, extract_metrics(doc(1.0)), threshold=1.5)
     assert same == 0, "identical runs must not report regressions"
 
     _, slower = compare(base, extract_metrics(doc(10.0)), threshold=1.5)
-    assert slower == 2, f"injected 10x slowdown must regress both metrics, got {slower}"
+    assert slower == 3, f"injected 10x slowdown must regress all 3 metrics, got {slower}"
 
     _, faster = compare(base, extract_metrics(doc(0.1)), threshold=1.5)
     assert faster == 0, "a speedup is not a regression"

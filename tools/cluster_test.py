@@ -2,25 +2,31 @@
 """Loopback cluster integration test for amm_node / amm_ctl.
 
 Spawns n real amm_node processes on 127.0.0.1, drives >= --appends appends
-through amm_ctl, SIGKILLs floor((n-1)/2) nodes mid-run, forces the
-survivors' outbound links down (kick) so reconnect paths are exercised,
-keeps appending, and then asserts the paper's §4 guarantees end-to-end:
+through amm_ctl (pipelined with --window), SIGKILLs floor((n-1)/2) nodes
+mid-run, forces the survivors' outbound links down (kick) so reconnect
+paths are exercised, keeps appending, and then asserts the paper's §4
+guarantees end-to-end:
 
   * Lemma 4.2 — every append whose ctl reply reported completion is
     present in every survivor's subsequent quorum read;
   * Algorithm 6 — the survivors' DAG BA decisions (sign of the first-k
-    prefix of the canonical record order) agree exactly.
+    prefix of the canonical record order) agree exactly;
+  * DESIGN.md §9 — steady-state delta reads stay sub-linear in history
+    (wire bytes per read far below the full-view cost), and a restarted
+    node full-syncs exactly once before returning to cheap delta reads.
 
 Exit status 0 iff every assertion holds. Registered as the ctest/CI
-`cluster_loopback` job.
+`cluster_loopback` job. With --json FILE the measured byte costs are
+written as a JSON document for the CI artifact / bench fold-in.
 
 Usage:
-  tools/cluster_test.py --bin-dir build/tools [--n 5] [--appends 1000]
+  tools/cluster_test.py --bin-dir build/tools [--n 5] [--appends 1000] [--json out.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import re
 import select
@@ -29,6 +35,8 @@ import subprocess
 import sys
 import time
 from pathlib import Path
+
+RECORD_WIRE_BYTES = 28  # one signed append record on the wire (codec.cpp)
 
 
 class ClusterError(Exception):
@@ -116,6 +124,29 @@ class Cluster:
         self.procs[node] = None
         log(f"node {node} SIGKILLed")
 
+    def restart(self, node: int) -> None:
+        """Relaunches a killed node with its original identity (same id, n,
+        seed, port) and a blank view — the reconnect + full-sync-once case."""
+        assert self.procs[node] is None
+        cmd = [str(self.node_bin), "--id", str(node), "--n", str(self.n),
+               "--seed", str(self.seed), "--base-port", str(self.base_port)]
+        proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        line = read_line(proc, time.monotonic() + 10)
+        if "listening on" not in line:
+            raise ClusterError(f"restarted node {node} not ready: {line!r}")
+        self.procs[node] = proc
+        log(f"node {node} restarted on port {self.port(node)}")
+
+    def stats(self, node: int) -> dict[str, int]:
+        out = self.ctl(node, "--op", "stats")
+        return {m.group(1): int(m.group(2))
+                for m in re.finditer(r"([a-z_]+)=(\d+)", out)}
+
+    def total_bytes(self) -> int:
+        """Sum of bytes_sent over every alive node — the cluster-wide wire
+        volume counter used for per-operation byte deltas."""
+        return sum(self.stats(node)["bytes"] for node in self.alive())
+
     def stop_all(self) -> None:
         for i, proc in enumerate(self.procs):
             if proc is None:
@@ -138,7 +169,7 @@ def append_batch(cluster: Cluster, targets: list[int], per_node: int,
     jobs = []
     for node in targets:
         cmd = [str(cluster.ctl_bin), "--port", str(cluster.port(node)), "--op", "append",
-               "--value", str(next_value), "--count", str(per_node)]
+               "--value", str(next_value), "--count", str(per_node), "--window", "8"]
         jobs.append((node, next_value, subprocess.Popen(cmd, stdout=subprocess.PIPE,
                                                         stderr=subprocess.STDOUT, text=True)))
         next_value += per_node
@@ -159,6 +190,15 @@ def read_values(cluster: Cluster, node: int) -> list[int]:
     return [int(m.group(1)) for m in re.finditer(r"value=(-?\d+)", out)]
 
 
+def read_cost(cluster: Cluster, node: int) -> tuple[int, int]:
+    """Performs one quorum read at `node`; returns (wire bytes, view size).
+    Bytes are measured as the cluster-wide bytes_sent delta, so they cover
+    the read requests AND every responder's reply."""
+    before = cluster.total_bytes()
+    view = read_values(cluster, node)
+    return cluster.total_bytes() - before, len(view)
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bin-dir", type=Path, default=Path("build/tools"))
@@ -166,6 +206,8 @@ def main() -> None:
     ap.add_argument("--appends", type=int, default=1000,
                     help="minimum total completed appends across both phases")
     ap.add_argument("--seed", type=int, default=20200715)
+    ap.add_argument("--json", type=Path, default=None,
+                    help="write measured byte costs to this file as JSON")
     args = ap.parse_args()
     if args.n < 3:
         sys.exit("error: need --n >= 3 for a meaningful minority crash")
@@ -224,10 +266,70 @@ def main() -> None:
 
         # The kick above must have produced real reconnects.
         for node in survivors:
-            out = cluster.ctl(node, "--op", "stats")
-            match = re.search(r"reconnects=(\d+)", out)
-            if not match or int(match.group(1)) < 1:
-                raise ClusterError(f"node {node} shows no reconnects after kick: {out.strip()}")
+            stats = cluster.stats(node)
+            if stats.get("reconnects", 0) < 1:
+                raise ClusterError(f"node {node} shows no reconnects after kick: {stats}")
+
+        # §9 sub-linearity: a synced survivor's steady-state read ships only
+        # protocol overhead, far below the full-view cost of the same read
+        # (|alive| replies x history x 28 B/record).
+        history = len(completed)
+        full_estimate = len(survivors) * history * RECORD_WIRE_BYTES
+        steady_bytes, steady_view = read_cost(cluster, survivors[0])
+        log(f"steady-state read: {steady_bytes} B over history {history} "
+            f"(full-view estimate {full_estimate} B)")
+        if steady_view != history:
+            raise ClusterError(f"steady read view {steady_view} != history {history}")
+        if steady_bytes * 10 >= full_estimate:
+            raise ClusterError(
+                f"steady-state read cost {steady_bytes} B is not sub-linear in "
+                f"history (full-view estimate {full_estimate} B)")
+
+        # Restart one killed node with a blank view: its first read must
+        # full-sync (frontier at zero -> responders ship whole views), its
+        # second must be back on cheap deltas.
+        restarted = args.n - 1
+        pre_reconnects = {node: cluster.stats(node).get("reconnects", 0)
+                          for node in survivors}
+        cluster.restart(restarted)
+        deadline = time.monotonic() + 30
+        while any(cluster.stats(node).get("reconnects", 0) <= pre_reconnects[node]
+                  for node in survivors):
+            if time.monotonic() > deadline:
+                raise ClusterError("survivors never reconnected to the restarted node")
+            time.sleep(0.2)
+        time.sleep(0.5)  # let queued frames toward the revived peer flush
+
+        sync_bytes, sync_view = read_cost(cluster, restarted)
+        delta_bytes, delta_view = read_cost(cluster, restarted)
+        log(f"restarted node {restarted}: full-sync read {sync_bytes} B, "
+            f"steady read {delta_bytes} B (views {sync_view}/{delta_view})")
+        if sync_view != history or delta_view != history:
+            raise ClusterError(
+                f"restarted node reads {sync_view}/{delta_view} != history {history}")
+        if sync_bytes <= 10 * delta_bytes:
+            raise ClusterError(
+                f"restarted node did not return to deltas: full-sync {sync_bytes} B "
+                f"vs steady {delta_bytes} B (need > 10x)")
+
+        if args.json is not None:
+            # Harness-document shape: collect_bench.py --extra folds this in
+            # and bench_diff.py diffs the [B] columns like any other metric.
+            args.json.write_text(json.dumps({
+                "title": "cluster loopback delta reads",
+                "tables": [{
+                    "caption": "read wire cost",
+                    "table": {
+                        "headers": ["n", "history", "read", "bytes [B]"],
+                        "rows": [
+                            [str(args.n), str(history), "steady_survivor", str(steady_bytes)],
+                            [str(args.n), str(history), "restart_full_sync", str(sync_bytes)],
+                            [str(args.n), str(history), "restart_steady", str(delta_bytes)],
+                        ],
+                    },
+                }],
+            }, indent=2) + "\n")
+            log(f"wrote {args.json}")
 
         log("PASS")
     except ClusterError as err:

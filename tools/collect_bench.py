@@ -17,8 +17,15 @@ tools/bench_diff.py compares future runs against. The header records the
 git SHA and CMake build type the numbers were produced from, so a diff
 against a mismatched build is detectable.
 
+Standalone documents produced outside the bench/ binaries — e.g.
+tools/cluster_test.py --json — fold in via --extra NAME=FILE; they merge
+under experiments[NAME] exactly like a harness document, so their [B]
+columns are diffable by bench_diff.py too.
+
 Usage:
   tools/collect_bench.py --build-dir build --out BENCH_sim.json [--trials 3]
+  tools/collect_bench.py --build-dir build --only 'e10' --extra cluster_loopback=c.json \\
+      --out BENCH_net.json
   tools/collect_bench.py --from-dir results/ --out BENCH_sim.json
 """
 
@@ -111,6 +118,9 @@ def main() -> None:
                     help="extra args for bench_hotpath, e.g. '--max-history 10000'")
     ap.add_argument("--micro-min-time", type=float, default=0.01,
                     help="google-benchmark --benchmark_min_time for bench_* micros")
+    ap.add_argument("--extra", action="append", default=[], metavar="NAME=FILE",
+                    help="fold a standalone JSON document in as experiments[NAME] "
+                         "(e.g. cluster_loopback=cluster.json); repeatable")
     args = ap.parse_args()
 
     if args.from_dir:
@@ -118,6 +128,11 @@ def main() -> None:
     else:
         docs = run_binaries(args.build_dir, args.trials, args.only,
                             args.hotpath_args.split(), args.micro_min_time)
+    for spec in args.extra:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            sys.exit(f"error: --extra expects NAME=FILE, got {spec!r}")
+        docs[name] = json.loads(Path(path).read_text())
 
     merged = {
         "generated_by": "tools/collect_bench.py",
