@@ -245,7 +245,12 @@ ForgerNode::ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::K
         net_->send(id_, from, std::move(reply));
         break;
       }
-      default:
+      // The forger deliberately ignores acks and read replies: it never
+      // appends honestly, so neither message advances its attack. Spelled
+      // out per kind so a future fifth message kind fails to compile here
+      // instead of being silently dropped.
+      case WireMessage::Kind::kAck:
+      case WireMessage::Kind::kReadReply:
         break;
     }
   });

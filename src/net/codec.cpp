@@ -275,10 +275,18 @@ std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
     if (!rec) return std::nullopt;
     rep.view.push_back(*rec);
   }
-  const auto f = [&dec]() { return dec.get_u64(); };
-  const auto messages = f(), bytes = f(), view_size = f(), appends = f(), reconnects = f(),
-             auth_rejects = f(), sig_rejects = f(), reads_full = f(), reads_delta = f(),
-             read_records = f(), fallbacks = f(), cache_hits = f();
+  const auto messages = dec.get_u64();
+  const auto bytes = dec.get_u64();
+  const auto view_size = dec.get_u64();
+  const auto appends = dec.get_u64();
+  const auto reconnects = dec.get_u64();
+  const auto auth_rejects = dec.get_u64();
+  const auto sig_rejects = dec.get_u64();
+  const auto reads_full = dec.get_u64();
+  const auto reads_delta = dec.get_u64();
+  const auto read_records = dec.get_u64();
+  const auto fallbacks = dec.get_u64();
+  const auto cache_hits = dec.get_u64();
   if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
   rep.stats = CtlStats{*messages, *bytes, *view_size, *appends, *reconnects, *auth_rejects,
                        *sig_rejects, *reads_full, *reads_delta, *read_records, *fallbacks,

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""amm_analyze — AST-level protocol-safety analyzer for this repository.
+
+Four checks, one module each (tools/analyze/checks/), documented rule by
+rule in docs/ANALYSIS.md §5:
+
+  codec_bounds  codec-bounds, codec-consistency
+  exhaustive    switch-exhaustive, switch-default
+  determinism   determinism-taint
+  lockorder     lock-cycle, lock-blocking
+
+Engines: the *internal* engine (a pure-Python C++ tokenizer + structural
+extractors, cpp_model.py) always works and is what CI gates on; when
+python3-clang + libclang are installed, `--engine libclang` (or `auto`)
+swaps in type-resolved facts from the real clang AST (clang_front.py).
+
+Usage:
+  amm_analyze.py [--root DIR] [--compile-commands FILE] [--engine auto|internal|libclang]
+                 [--checks a,b] [--github] [--cache-dir DIR]
+  amm_analyze.py --self-test     # run the seeded-violation corpus
+  amm_analyze.py --list-rules
+
+Exit status: 0 clean, 1 findings, 2 usage/corpus error.
+
+Suppression: `// analyze:allow(rule[, rule]): reason` on the finding line
+or the line above. The reason is mandatory by convention — reviewers treat
+a bare allow as a defect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Set
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import cpp_model  # noqa: E402
+from analysis import AnalysisModel, Finding  # noqa: E402
+from checks import ALL_RULES, CHECKS  # noqa: E402
+
+ANALYZE_DIRS = ("src", "tools")
+EXCLUDE_DIRS = ("selftest",)  # the seeded-violation corpus is not production code
+CACHE_VERSION = "1"
+
+# ---- self-test corpus expectations ----
+#
+# bad_* files must fire exactly the listed rules; clean_* twins must be
+# silent. Exact-set matching catches false positives on the bad files too.
+SELF_TEST_EXPECT: Dict[str, Set[str]] = {
+    "bad_codec_bounds.cpp": {"codec-bounds"},
+    "clean_codec_bounds.cpp": set(),
+    "bad_codec_pair.cpp": {"codec-consistency"},
+    "clean_codec_pair.cpp": set(),
+    "bad_codec_kinds.cpp": {"codec-consistency", "codec-bounds"},
+    "clean_codec_kinds.cpp": set(),
+    "bad_switch.cpp": {"switch-exhaustive", "switch-default"},
+    "clean_switch.cpp": set(),
+    "bad_taint.cpp": {"determinism-taint"},
+    "clean_taint.cpp": set(),
+    "bad_lock.cpp": {"lock-cycle", "lock-blocking"},
+    "clean_lock.cpp": set(),
+}
+
+
+def run_checks(model: AnalysisModel, only: Optional[Set[str]]) -> List[Finding]:
+    findings: List[Finding] = []
+    for mod in CHECKS:
+        if only is not None and mod.NAME not in only:
+            continue
+        findings.extend(mod.run(model))
+    return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def build_model(files, engine: str, root: str, cc_path: Optional[str]):
+    """Returns (model, engine_used)."""
+    facts = None
+    used = "internal"
+    if engine in ("auto", "libclang"):
+        import clang_front
+        if clang_front.available():
+            facts = clang_front.extract(root, files, cc_path)
+            if facts is not None:
+                used = "libclang"
+        elif engine == "libclang":
+            raise SystemExit("amm_analyze: --engine libclang requested but clang.cindex "
+                             "is unavailable (install python3-clang + libclang)")
+    return AnalysisModel(files, facts), used
+
+
+def self_test(engine: str) -> int:
+    corpus = os.path.join(HERE, "selftest")
+    failures: List[str] = []
+    for name in sorted(SELF_TEST_EXPECT):
+        path = os.path.join(corpus, name)
+        if not os.path.exists(path):
+            failures.append(f"{name}: corpus file missing")
+            continue
+        with open(path, encoding="utf-8") as fh:
+            sf = cpp_model.SourceFile(path, fh.read(), display=name)
+        # Each corpus file is a self-contained model: the internal engine is
+        # the one under test (libclang facts would not change pass/fail).
+        model, _ = build_model([sf], engine if engine == "libclang" else "internal",
+                               corpus, None)
+        fired = {f.rule for f in run_checks(model, None)}
+        expected = SELF_TEST_EXPECT[name]
+        if fired != expected:
+            for f in run_checks(model, None):
+                print(f"    {f.render()}")
+            failures.append(f"{name}: expected rules {sorted(expected) or '{}'}, "
+                            f"got {sorted(fired) or '{}'}")
+    unknown = {r for rules in SELF_TEST_EXPECT.values() for r in rules} - set(ALL_RULES)
+    if unknown:
+        failures.append(f"corpus expects unknown rules: {sorted(unknown)}")
+    if failures:
+        print("amm_analyze self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 2
+    print(f"amm_analyze self-test OK ({len(SELF_TEST_EXPECT)} corpus files, "
+          f"{len(ALL_RULES)} rules)")
+    return 0
+
+
+def _cache_key(files, engine: str) -> str:
+    h = hashlib.sha256()
+    h.update(CACHE_VERSION.encode())
+    h.update(engine.encode())
+    for mod_dir in (HERE, os.path.join(HERE, "checks")):
+        for fn in sorted(os.listdir(mod_dir)):
+            if fn.endswith(".py"):
+                with open(os.path.join(mod_dir, fn), "rb") as fh:
+                    h.update(fh.read())
+    for sf in files:
+        h.update(sf.display.encode())
+        h.update(hashlib.sha256(sf.text.encode()).digest())
+    return h.hexdigest()
+
+
+def analyze(root: str, engine: str, cc_path: Optional[str], only: Optional[Set[str]],
+            cache_dir: Optional[str]) -> List[Finding]:
+    files = cpp_model.load_tree(root, ANALYZE_DIRS, exclude=EXCLUDE_DIRS)
+    if not files:
+        raise SystemExit(f"amm_analyze: no sources under {root}/{{{','.join(ANALYZE_DIRS)}}}")
+    cache_path = None
+    if cache_dir:
+        key = _cache_key(files, engine)
+        if only:
+            key = hashlib.sha256((key + ",".join(sorted(only))).encode()).hexdigest()
+        os.makedirs(cache_dir, exist_ok=True)
+        cache_path = os.path.join(cache_dir, f"findings-{key}.json")
+        if os.path.exists(cache_path):
+            with open(cache_path, encoding="utf-8") as fh:
+                return [Finding(**f) for f in json.load(fh)]
+    model, used = build_model(files, engine, root, cc_path)
+    findings = run_checks(model, only)
+    if used != engine and engine == "auto":
+        pass  # informational only; the engine used is deterministic per machine
+    if cache_path:
+        with open(cache_path, "w", encoding="utf-8") as fh:
+            json.dump([f._asdict() for f in findings], fh)
+    return findings
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(prog="amm_analyze", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=os.path.normpath(os.path.join(HERE, "..", "..")),
+                    help="repository root (default: two levels above this script)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compile_commands.json for the libclang engine "
+                         "(default: <root>/build/compile_commands.json if present)")
+    ap.add_argument("--engine", choices=("auto", "internal", "libclang"), default="auto",
+                    help="fact-extraction engine (default auto: libclang when importable)")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated module subset (codec_bounds,exhaustive,"
+                         "determinism,lockorder)")
+    ap.add_argument("--github", action="store_true",
+                    help="also emit ::error GitHub annotations")
+    ap.add_argument("--cache-dir", default=None,
+                    help="directory for the findings cache (keyed by content+engine)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the seeded-violation corpus and exit")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for mod in CHECKS:
+            for rule, desc in mod.RULES.items():
+                print(f"{rule:20s} [{mod.NAME}] {desc}")
+        return 0
+    if args.self_test:
+        return self_test(args.engine)
+
+    known = {mod.NAME for mod in CHECKS}
+    only: Optional[Set[str]] = None
+    if args.checks:
+        only = {c.strip() for c in args.checks.split(",") if c.strip()}
+        bad = only - known
+        if bad:
+            print(f"amm_analyze: unknown checks {sorted(bad)}; known: {sorted(known)}",
+                  file=sys.stderr)
+            return 2
+
+    cc = args.compile_commands
+    if cc is None:
+        candidate = os.path.join(args.root, "build", "compile_commands.json")
+        cc = candidate if os.path.exists(candidate) else None
+
+    findings = analyze(args.root, args.engine, cc, only, args.cache_dir)
+    for f in findings:
+        print(f.render())
+        if args.github:
+            print(f.render_github())
+    if findings:
+        print(f"amm_analyze: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

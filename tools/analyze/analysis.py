@@ -1,0 +1,121 @@
+"""Cross-file analysis model and finding type for amm_analyze.
+
+The model aggregates per-file facts (cpp_model.SourceFile) into the global
+registries the checks need: enum definitions, function definitions by name,
+folded integer constants, and — when the libclang engine is active —
+type-resolved facts that override the token-level approximations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+import cpp_model
+from cpp_model import EnumDef, Function, SourceFile
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def render_github(self) -> str:
+        return (f"::error file={self.path},line={self.line},"
+                f"title=amm_analyze({self.rule})::{self.message}")
+
+
+class ClangSwitch(NamedTuple):
+    """A switch over an enum as seen by libclang: exact type resolution."""
+    enum_path: Tuple[str, ...]
+    handled: Tuple[str, ...]
+    has_default: bool
+    line: int
+
+
+class ClangFacts(NamedTuple):
+    enums: Tuple[EnumDef, ...]
+    switches: Dict[str, Tuple[ClangSwitch, ...]]  # per display path
+    unordered_names: Set[str]
+    function_typed_names: Set[str]
+
+
+class AnalysisModel:
+    def __init__(self, files: Sequence[SourceFile], clang_facts: Optional[ClangFacts] = None):
+        self.files = list(files)
+        self.clang = clang_facts
+        self.consts = cpp_model.collect_constants(self.files)
+        self.enums: Dict[Tuple[str, ...], EnumDef] = {}
+        for sf in self.files:
+            for e in sf.enums:
+                self.enums[e.path] = e
+        if clang_facts:
+            for e in clang_facts.enums:
+                self.enums[e.path] = e
+        self.functions: Dict[str, List[Tuple[SourceFile, Function]]] = {}
+        for sf in self.files:
+            for fn in sf.functions:
+                self.functions.setdefault(fn.name, []).append((sf, fn))
+        # enumerator name -> enum paths containing it (for membership fallback)
+        self.enum_of: Dict[str, Set[Tuple[str, ...]]] = {}
+        for path, e in self.enums.items():
+            for name in e.enumerators:
+                self.enum_of.setdefault(name, set()).add(path)
+
+    # ---- enum resolution ----
+
+    def resolve_enum(self, label: Sequence[str]) -> Optional[EnumDef]:
+        """Resolves a case label like mp::WireMessage::Kind::kAppend to its
+        enum. Tries suffix matching on the scope path, then unique-membership
+        of the enumerator name."""
+        parts = [p for p in label if p != "::"]
+        # Strip cast noise: `static_cast<u8>(X)` style labels don't occur in
+        # case position in this codebase, but integer labels do.
+        if not parts or not parts[-1].isidentifier():
+            return None
+        enumerator = parts[-1]
+        scope = tuple(parts[:-1])
+        if scope:
+            best: Optional[EnumDef] = None
+            for path, e in self.enums.items():
+                if len(path) >= len(scope) and path[-len(scope):] == scope:
+                    if enumerator in e.enumerators:
+                        if best is None or len(path) > len(best.path):
+                            best = e
+            if best:
+                return best
+        owners = self.enum_of.get(enumerator, set())
+        if len(owners) == 1:
+            return self.enums[next(iter(owners))]
+        return None
+
+    def resolve_switch_enum(self, labels: Sequence[Sequence[str]]) -> Optional[EnumDef]:
+        """Resolves the enum a switch dispatches over from ALL its case
+        labels jointly: a single enumerator name (e.g. kAppend) can live in
+        several enums, but the full label set almost always disambiguates.
+        Returns None when no single enum contains every labelled enumerator
+        under a compatible scope — such a switch is skipped, never guessed."""
+        candidates: Optional[Set[Tuple[str, ...]]] = None
+        for label in labels:
+            parts = [p for p in label if p != "::"]
+            if not parts or not parts[-1].isidentifier() or parts[-1][0].isdigit():
+                return None  # numeric / expression label: not an enum switch
+            enumerator, scope = parts[-1], tuple(parts[:-1])
+            this: Set[Tuple[str, ...]] = set()
+            for path, e in self.enums.items():
+                if enumerator not in e.enumerators:
+                    continue
+                if scope and (len(path) < len(scope) or path[-len(scope):] != scope):
+                    continue
+                this.add(path)
+            if not this:
+                return None
+            candidates = this if candidates is None else candidates & this
+            if not candidates:
+                return None
+        if candidates and len(candidates) == 1:
+            return self.enums[next(iter(candidates))]
+        return None

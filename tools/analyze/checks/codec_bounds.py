@@ -1,0 +1,535 @@
+"""codec-bounds / codec-consistency — wire-codec byte accounting and
+bounds discipline.
+
+The TCP transport moves exactly the §4 ABD message kinds; the complexity
+numbers (bytes on the wire, Thm 5.1 / E10) are only meaningful if
+`encode_X`, `decode_X` and `wire_size()` agree byte-for-byte, and the
+decoder stays *total* — any truncated or hostile input must yield nullopt,
+never an out-of-bounds read (the codec is the one place attacker-
+controlled bytes meet raw buffers).
+
+Three analyses, all byte-accounting over the put_*/get_* primitive widths
+(u8=1, u32=4, u64/i64=8):
+
+  * pair consistency — for every switch-free encode_X/decode_X pair, the
+    fixed byte count and the per-element byte count of every loop must be
+    equal on both sides (calls to other encode_*/decode_* helpers are
+    resolved recursively);
+  * kind-switch consistency — for a tagged-union codec (an encoder, a
+    decoder and a `wire_size()` switching over the same enum), the
+    per-enumerator totals of all three must agree, and a decoder count
+    guard `remaining() != n * kPerElem` must multiply by exactly what the
+    following loop consumes;
+  * bounds discipline — inside get_*/peek_*/extract_* primitives, every
+    raw subscript into a byte buffer must be dominated by a
+    `remaining() <` / `.size() <` guard, and the guarded width must cover
+    the bytes actually consumed (`pos_ += n`); in decode_* functions every
+    optional produced by a getter must be tested (`!v` or `!dec.ok()`)
+    before it is dereferenced.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from analysis import AnalysisModel, Finding
+from cpp_model import Function, SourceFile, eval_const, match_forward
+
+NAME = "codec_bounds"
+RULES = {
+    "codec-bounds": "decoders are total: every raw read is guarded, counts cover "
+                    "consumption, optionals are tested before dereference",
+    "codec-consistency": "encode_X / decode_X / wire_size agree byte-for-byte "
+                         "for every message kind",
+}
+
+ENC_PRIMS = {"put_u8": 1, "put_u32": 4, "put_u64": 8, "put_i64": 8}
+DEC_PRIMS = {"get_u8": 1, "get_u32": 4, "get_u64": 8, "get_i64": 8}
+GETTER_NAMES = set(DEC_PRIMS)
+
+
+class Summary(NamedTuple):
+    fixed: int
+    loops: Tuple[int, ...]  # sorted per-element byte counts, one per loop
+    unknown: bool  # accounting gave up (nested variable loops, ...)
+
+    def describe(self) -> str:
+        s = f"{self.fixed} fixed"
+        if self.loops:
+            s += " + " + " + ".join(f"{n}/elem" for n in self.loops)
+        return s
+
+
+def _strip_quals(expr: Sequence[str]) -> List[str]:
+    """Drops `ns::` qualifier chains so eval_const sees bare constant names."""
+    out: List[str] = []
+    for i, v in enumerate(expr):
+        if v == "::":
+            continue
+        if i + 1 < len(expr) and expr[i + 1] == "::" and v and (v[0].isalpha() or v[0] == "_"):
+            continue
+        out.append(v)
+    return out
+
+
+class _Accountant:
+    """Byte accounting over encode_*/decode_* function bodies."""
+
+    def __init__(self, model: AnalysisModel):
+        self.model = model
+        self.memo: Dict[Tuple[str, str], Summary] = {}
+
+    def of(self, name: str, side: str) -> Optional[Summary]:
+        key = (name, side)
+        if key in self.memo:
+            return self.memo[key]
+        defs = self.model.functions.get(name, [])
+        if not defs:
+            return None
+        self.memo[key] = Summary(0, (), True)  # recursion guard
+        sf, fn = defs[0]
+        s = self.region(sf, fn.body[0] + 1, fn.body[1], side, fn)
+        self.memo[key] = s
+        return s
+
+    def region(self, sf: SourceFile, lo: int, hi: int, side: str,
+               fn: Function) -> Summary:
+        prims = ENC_PRIMS if side == "enc" else DEC_PRIMS
+        prefix = "encode_" if side == "enc" else "decode_"
+        nested = sorted(g.body for g in sf.functions
+                        if g is not fn and fn.body[0] < g.body[0] and g.body[1] <= fn.body[1])
+        toks = sf.tokens
+        fixed, loops, unknown = 0, [], False
+        j = lo
+        while j < hi:
+            skipped = False
+            for s, e in nested:
+                if s == j:
+                    j = e + 1
+                    skipped = True
+                    break
+            if skipped:
+                unknown = True  # bytes moved inside a lambda defeat accounting
+                continue
+            t = toks[j]
+            if t.kind == "id" and t.value in ("for", "while") and j + 1 < hi \
+                    and toks[j + 1].value == "(":
+                head_close = match_forward(toks, j + 1, "(", ")")
+                body_lo, body_hi = sf._stmt_body(head_close + 1)
+                if toks[body_lo].value == "{":
+                    body_lo += 1
+                inner = self.region(sf, body_lo, body_hi, side, fn)
+                if inner.loops or inner.unknown:
+                    unknown = True
+                if inner.fixed:
+                    loops.append(inner.fixed)
+                j = body_hi + 1
+                continue
+            if t.kind == "id" and j + 1 < hi and toks[j + 1].value == "(":
+                if t.value in prims:
+                    fixed += prims[t.value]
+                elif t.value.startswith(prefix) and t.value != fn.name \
+                        and t.value in self.model.functions:
+                    sub = self.of(t.value, side)
+                    if sub is None or sub.unknown:
+                        unknown = True
+                    else:
+                        fixed += sub.fixed
+                        loops.extend(sub.loops)
+            j += 1
+        return Summary(fixed, tuple(sorted(loops)), unknown)
+
+
+# ---- the three analyses ----
+
+
+def run(model: AnalysisModel) -> List[Finding]:
+    findings: List[Finding] = []
+    acct = _Accountant(model)
+    _check_pairs(model, acct, findings)
+    _check_kind_switches(model, acct, findings)
+    for sf in model.files:
+        _check_bounds(sf, findings)
+        _check_optional_derefs(sf, findings)
+    return findings
+
+
+def _check_pairs(model: AnalysisModel, acct: _Accountant, findings: List[Finding]) -> None:
+    for name, defs in sorted(model.functions.items()):
+        if not name.startswith("encode_"):
+            continue
+        base = name[len("encode_"):]
+        dec_name = "decode_" + base
+        if dec_name not in model.functions:
+            continue
+        enc_sf, enc_fn = defs[0]
+        dec_sf, dec_fn = model.functions[dec_name][0]
+        if _has_switch(enc_sf, enc_fn) or _has_switch(dec_sf, dec_fn):
+            continue  # tagged-union codec: handled per-enumerator below
+        enc = acct.of(name, "enc")
+        dec = acct.of(dec_name, "dec")
+        if enc is None or dec is None or enc.unknown or dec.unknown:
+            continue
+        if (enc.fixed, enc.loops) != (dec.fixed, dec.loops):
+            if not dec_sf.allowed(dec_fn.line, "codec-consistency"):
+                findings.append(Finding(
+                    dec_sf.display, dec_fn.line, "codec-consistency",
+                    f"{name}() writes {enc.describe()} but {dec_name}() reads "
+                    f"{dec.describe()} — the wire layout must be identical on both "
+                    "sides or round-trips silently shear (kMsg frames, §4 message "
+                    "complexity accounting)"))
+
+
+def _has_switch(sf: SourceFile, fn: Function) -> bool:
+    return any(fn.body[0] < sw.body[0] and sw.body[1] <= fn.body[1] for sw in sf.switches)
+
+
+class _CaseSeg(NamedTuple):
+    enumerator: str
+    lo: int  # token index after the label colon
+    hi: int
+    line: int
+
+
+def _case_segments(sf: SourceFile, sw) -> List[_CaseSeg]:
+    toks = sf.tokens
+    open_, close = sw.body
+    marks: List[Tuple[str, int, int, int]] = []  # (enumerator, kw idx, colon idx, line)
+    j = open_ + 1
+    while j < close:
+        t = toks[j]
+        if t.kind == "id" and t.value == "case":
+            k = j + 1
+            last_id = ""
+            while k < close and toks[k].value != ":":
+                if toks[k].kind == "id":
+                    last_id = toks[k].value
+                k += 1
+            marks.append((last_id, j, k, t.line))
+            j = k
+        elif t.kind == "id" and t.value == "default" and j + 1 < close \
+                and toks[j + 1].value == ":" and toks[j - 1].value != "=":
+            marks.append(("<default>", j, j + 1, t.line))
+            j += 1
+        j += 1
+    segs: List[_CaseSeg] = []
+    for i, (name, _kw, colon, line) in enumerate(marks):
+        end = marks[i + 1][1] if i + 1 < len(marks) else close
+        segs.append(_CaseSeg(name, colon + 1, end, line))
+    return segs
+
+
+def _guard_per_elem(sf: SourceFile, lo: int, hi: int, consts) -> Optional[int]:
+    """Per-element byte width a `remaining() != <count> * kBytes` guard
+    checks against, if the segment has one."""
+    toks = sf.tokens
+    for j in range(lo, hi - 4):
+        if toks[j].kind == "id" and toks[j].value == "remaining" \
+                and toks[j + 1].value == "(" and toks[j + 2].value == ")" \
+                and toks[j + 3].value == "!=":
+            expr: List[str] = []
+            depth = 0
+            for k in range(j + 4, hi):
+                v = toks[k].value
+                if v in "([":
+                    depth += 1
+                elif v in ")]":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                elif v == "{" or v == ";":
+                    break
+                expr.append(v)
+            star = None
+            depth = 0
+            for k, v in enumerate(expr):
+                if v in "([":
+                    depth += 1
+                elif v in ")]":
+                    depth -= 1
+                elif v == "*" and depth == 0 and k > 0:
+                    star = k
+            if star is not None:
+                return eval_const(_strip_quals(expr[star + 1:]), consts)
+    return None
+
+
+def _wire_size_case(sf: SourceFile, lo: int, hi: int, consts) -> Optional[Summary]:
+    """Accounts a `return a + b + x.size() * k;` wire_size case."""
+    toks = sf.tokens
+    for j in range(lo, hi):
+        if toks[j].kind == "id" and toks[j].value == "return":
+            expr: List[str] = []
+            for k in range(j + 1, hi):
+                if toks[k].value == ";":
+                    break
+                expr.append(toks[k].value)
+            terms: List[List[str]] = [[]]
+            depth = 0
+            for v in expr:
+                if v in "([":
+                    depth += 1
+                elif v in ")]":
+                    depth -= 1
+                elif v == "+" and depth == 0:
+                    terms.append([])
+                    continue
+                terms[-1].append(v)
+            fixed, loops = 0, []
+            for term in terms:
+                if not term:
+                    continue
+                star = None
+                depth = 0
+                for k, v in enumerate(term):
+                    if v in "([":
+                        depth += 1
+                    elif v in ")]":
+                        depth -= 1
+                    elif v == "*" and depth == 0:
+                        star = k
+                if star is not None and "size" in term:
+                    left, right = term[:star], term[star + 1:]
+                    const_side = right if "size" in left else left
+                    per = eval_const(_strip_quals(const_side), consts)
+                    if per is None:
+                        return None
+                    loops.append(per)
+                    continue
+                v = eval_const(_strip_quals(term), consts)
+                if v is None:
+                    return None
+                fixed += v
+            return Summary(fixed, tuple(sorted(loops)), False)
+    return None
+
+
+def _check_kind_switches(model: AnalysisModel, acct: _Accountant,
+                         findings: List[Finding]) -> None:
+    # enum path -> role -> (sf, fn, sw)
+    codecs: Dict[Tuple[str, ...], Dict[str, Tuple[SourceFile, Function, object]]] = {}
+    for sf in model.files:
+        for fn in sf.functions:
+            for sw in sf.switches:
+                if not (fn.body[0] < sw.body[0] and sw.body[1] <= fn.body[1]):
+                    continue
+                enum = model.resolve_switch_enum(sw.cases)
+                if enum is None:
+                    continue
+                body_ids = {t.value for t in sf.tokens[fn.body[0]:fn.body[1]] if t.kind == "id"}
+                if fn.name == "wire_size":
+                    role = "size"
+                elif body_ids & set(ENC_PRIMS):
+                    role = "enc"
+                elif body_ids & set(DEC_PRIMS):
+                    role = "dec"
+                else:
+                    continue  # a dispatch switch, not a codec
+                codecs.setdefault(enum.path, {}).setdefault(role, (sf, fn, sw))
+
+    for enum_path, roles in sorted(codecs.items()):
+        if len(roles) < 2:
+            continue
+        per_enum: Dict[str, Dict[str, Summary]] = {}
+        anchor: Optional[Tuple[SourceFile, int]] = None
+        for role, (sf, fn, sw) in roles.items():
+            if role == "dec":
+                anchor = (sf, fn.line)
+            prefix = (Summary(0, (), False) if role == "size"
+                      else acct.region(sf, fn.body[0] + 1, sw.body[0], role, fn))
+            for seg in _case_segments(sf, sw):
+                if seg.enumerator == "<default>":
+                    continue
+                if role == "size":
+                    s = _wire_size_case(sf, seg.lo, seg.hi, model.consts)
+                else:
+                    s = acct.region(sf, seg.lo, seg.hi, role, fn)
+                    guard = _guard_per_elem(sf, seg.lo, seg.hi, model.consts)
+                    if role == "dec" and guard is not None and s.loops \
+                            and guard not in s.loops \
+                            and not sf.allowed(seg.line, "codec-bounds"):
+                        findings.append(Finding(
+                            sf.display, seg.line, "codec-bounds",
+                            f"case {seg.enumerator}: count guard checks "
+                            f"remaining() against {guard} bytes/element but the "
+                            f"loop consumes {', '.join(map(str, s.loops))} — a "
+                            "lying count would pass the guard and truncate "
+                            "mid-record"))
+                if s is None or s.unknown or prefix.unknown:
+                    continue
+                total = Summary(prefix.fixed + s.fixed,
+                                tuple(sorted(prefix.loops + s.loops)), False)
+                per_enum.setdefault(seg.enumerator, {})[role] = total
+        if anchor is None:
+            sf, fn, _sw = next(iter(roles.values()))
+            anchor = (sf, fn.line)
+        role_names = {"enc": "encoder", "dec": "decoder", "size": "wire_size()"}
+        for enumerator, by_role in sorted(per_enum.items()):
+            if len(by_role) < 2:
+                continue
+            shapes = {(s.fixed, s.loops) for s in by_role.values()}
+            if len(shapes) > 1 and not anchor[0].allowed(anchor[1], "codec-consistency"):
+                detail = "; ".join(f"{role_names[r]}: {s.describe()}"
+                                   for r, s in sorted(by_role.items()))
+                findings.append(Finding(
+                    anchor[0].display, anchor[1], "codec-consistency",
+                    f"{'::'.join(enum_path)}::{enumerator} disagrees across the "
+                    f"codec ({detail}) — encode/decode/wire_size must account "
+                    "identical bytes for every kind (pinned by the §4/E10 "
+                    "byte-complexity numbers)"))
+
+
+BUFFER_TYPE_RE = r"^(span|vector|array)$"
+TARGET_FN_RE = re.compile(r"^(get_|peek_|extract_)")
+DECODE_FN_RE = re.compile(r"^(decode_|get_|peek_)")
+
+
+def _buffer_names(sf: SourceFile) -> Set[str]:
+    names: Set[str] = set()
+    for d in sf.var_decls([BUFFER_TYPE_RE]):
+        if "u8" in d.type_text or "uint8_t" in d.type_text or "char" in d.type_text \
+                or "byte" in d.type_text:
+            names.add(d.name)
+    return names
+
+
+def _check_bounds(sf: SourceFile, findings: List[Finding]) -> None:
+    buffers = _buffer_names(sf)
+    if not buffers:
+        return
+    toks = sf.tokens
+    for fn in sf.functions:
+        if not TARGET_FN_RE.match(fn.name):
+            continue
+        lo, hi = fn.body[0] + 1, fn.body[1]
+        guard_widths: List[Optional[int]] = []
+        guarded_from: Optional[int] = None  # first guard's token index
+        consumed = 0
+        consumed_known = True
+        for j in range(lo, hi):
+            t = toks[j]
+            # remaining() < N  /  buf.size() < N
+            if t.value in ("<", "<=", ">", ">=") and j >= 3 \
+                    and toks[j - 1].value == ")" and toks[j - 2].value == "(" \
+                    and toks[j - 3].kind == "id" and toks[j - 3].value in ("remaining", "size"):
+                if guarded_from is None:
+                    guarded_from = j
+                expr: List[str] = []
+                depth = 0
+                for k in range(j + 1, hi):
+                    v = toks[k].value
+                    if v in "([":
+                        depth += 1
+                    elif v in ")]":
+                        if depth == 0:
+                            break
+                        depth -= 1
+                    elif v in ("{", ";", "||", "&&"):
+                        break
+                    expr.append(v)
+                guard_widths.append(eval_const(_strip_quals(expr), {}))
+            # consumption: pos_ += N / pos_++ / ++pos_
+            if t.kind == "id" and t.value.startswith("pos"):
+                if j + 1 < hi and toks[j + 1].value == "+=":
+                    expr = []
+                    for k in range(j + 2, hi):
+                        if toks[k].value == ";":
+                            break
+                        expr.append(toks[k].value)
+                    w = eval_const(_strip_quals(expr), {})
+                    if w is None:
+                        consumed_known = False
+                    else:
+                        consumed += w
+                elif (j + 1 < hi and toks[j + 1].value == "++") \
+                        or (j >= 1 and toks[j - 1].value == "++"):
+                    consumed += 1
+            # raw subscript into a byte buffer
+            if t.kind == "id" and t.value in buffers and j + 1 < hi \
+                    and toks[j + 1].value == "[":
+                if guarded_from is None or j < guarded_from:
+                    if not sf.allowed(t.line, "codec-bounds"):
+                        findings.append(Finding(
+                            sf.display, t.line, "codec-bounds",
+                            f"raw read {t.value}[...] in {fn.key()}() is not "
+                            "dominated by a remaining()/size() bounds guard — on "
+                            "truncated input this is an out-of-bounds read; "
+                            "decode paths must be total (nullopt, never UB)"))
+        widths = [w for w in guard_widths if w is not None]
+        if widths and consumed_known and consumed > max(widths):
+            if not sf.allowed(toks[fn.body[0]].line, "codec-bounds"):
+                findings.append(Finding(
+                    sf.display, fn.line, "codec-bounds",
+                    f"{fn.key()}() guards remaining() against {max(widths)} "
+                    f"byte(s) but consumes {consumed} — the tail of the read is "
+                    "unguarded on short input"))
+
+
+def _check_optional_derefs(sf: SourceFile, findings: List[Finding]) -> None:
+    """Linear scan: every optional produced by a getter must be tested
+    (`!v`, or `!dec.ok()` for everything read from `dec`) before `*v`."""
+    toks = sf.tokens
+    for fn in sf.functions:
+        if not DECODE_FN_RE.match(fn.name):
+            continue
+        lo, hi = fn.body[0] + 1, fn.body[1]
+        pending: Dict[str, str] = {}  # var -> receiver ("" = implicit this)
+        j = lo
+        while j < hi:
+            t = toks[j]
+            # `name = ... get_*/decode_*(...)` introduces a pending optional.
+            if t.kind == "id" and j + 1 < hi and toks[j + 1].value == "=" \
+                    and toks[j].value not in ("if", "while"):
+                var = t.value
+                k = j + 2
+                recv: Optional[str] = None
+                depth = 0
+                while k < hi and not (depth == 0 and toks[k].value in (";", ",")):
+                    v = toks[k].value
+                    if v in "([{":
+                        depth += 1
+                    elif v in ")]}":
+                        depth -= 1
+                    if toks[k].kind == "id" and k + 1 < hi and toks[k + 1].value == "(" \
+                            and (v in GETTER_NAMES or v.startswith("decode_")):
+                        if v in GETTER_NAMES and k >= 2 and toks[k - 1].value == ".":
+                            recv = toks[k - 2].value
+                        elif v in GETTER_NAMES:
+                            recv = ""
+                        else:  # decode_x(dec): the decoder is the argument
+                            close = match_forward(toks, k + 1, "(", ")")
+                            recv = next((toks[a].value for a in range(k + 2, close)
+                                         if toks[a].kind == "id"), "")
+                    k += 1
+                if recv is not None:
+                    pending[var] = recv
+                j = k
+                continue
+            # `!name` clears it; `!dec.ok()` clears everything read from dec.
+            if t.value == "!" and j + 1 < hi and toks[j + 1].kind == "id":
+                name = toks[j + 1].value
+                if name in pending:
+                    del pending[name]
+                elif (name == "ok" and j + 2 < hi and toks[j + 2].value == "(") \
+                        or (j + 3 < hi and toks[j + 2].value == "."
+                            and toks[j + 3].value == "ok"):
+                    recv = "" if name == "ok" else name
+                    for var in [v for v, r in pending.items() if r == recv]:
+                        del pending[var]
+            # unary `*name` on a still-pending optional.
+            if t.value == "*" and j + 1 < hi and toks[j + 1].kind == "id" \
+                    and toks[j + 1].value in pending:
+                prev = toks[j - 1]
+                binary = (prev.kind == "num" or prev.value in (")", "]")
+                          or (prev.kind == "id" and prev.value not in ("return", "case", "else")))
+                if not binary:
+                    if not sf.allowed(t.line, "codec-bounds"):
+                        findings.append(Finding(
+                            sf.display, t.line, "codec-bounds",
+                            f"*{toks[j + 1].value} dereferenced before testing the "
+                            f"optional in {fn.key()}() — on truncated input the "
+                            "getter returned nullopt and this is UB; check "
+                            f"!{toks[j + 1].value} or !ok() first"))
+                    del pending[toks[j + 1].value]
+            j += 1

@@ -1,0 +1,171 @@
+"""Optional libclang fact-extraction frontend for amm_analyze.
+
+When `clang.cindex` is importable (python3-clang + a libclang shared
+library), this module parses each translation unit with the exact flags
+from compile_commands.json and replaces the token-level approximations of
+cpp_model with type-resolved facts:
+
+  * enum definitions with fully qualified paths;
+  * switch statements with the *resolved* enum type of their condition
+    (no label-set heuristics) and the enumerators they handle;
+  * declarations whose canonical type involves `std::unordered_*`
+    (catches nested cases like vector<unordered_set<T>>) or
+    `std::function` (callback invocation sites for lock-blocking).
+
+The byte-accounting and lock-region analyses stay syntactic either way —
+only the *facts* they consume get sharper. Machines without libclang
+(including this repo's pinned CI gate) run the internal engine; the CI
+libclang step is advisory. See docs/ANALYSIS.md §5.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Set, Tuple
+
+from analysis import ClangFacts, ClangSwitch
+from cpp_model import SOURCE_EXTS, EnumDef
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+    except Exception:
+        return False
+    try:
+        clang.cindex.Index.create()
+    except Exception:
+        return False
+    return True
+
+
+def _compile_args(cc_path: Optional[str]) -> Dict[str, List[str]]:
+    """Maps absolute source path -> compiler args from compile_commands.json."""
+    args: Dict[str, List[str]] = {}
+    if not cc_path or not os.path.exists(cc_path):
+        return args
+    with open(cc_path, encoding="utf-8") as fh:
+        for entry in json.load(fh):
+            src = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+            argv = entry.get("arguments")
+            if argv is None:
+                argv = entry.get("command", "").split()
+            # Strip compiler, -c/-o pairs and the input file itself.
+            keep: List[str] = []
+            skip = True  # first element is the compiler
+            it = iter(argv)
+            for a in it:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", src, entry["file"]):
+                    continue
+                if a == "-o":
+                    next(it, None)
+                    continue
+                keep.append(a)
+            args[src] = keep
+    return args
+
+
+def _qualified_path(cursor) -> Tuple[str, ...]:
+    parts: List[str] = []
+    c = cursor
+    while c is not None and c.kind is not None:
+        if c.spelling and c.kind.name in (
+                "NAMESPACE", "CLASS_DECL", "STRUCT_DECL", "ENUM_DECL", "CLASS_TEMPLATE"):
+            parts.append(c.spelling)
+        c = c.semantic_parent
+        if c is None or c.kind.name == "TRANSLATION_UNIT":
+            break
+    parts.reverse()
+    return tuple(parts)
+
+
+def extract(root: str, files, cc_path: Optional[str]) -> Optional[ClangFacts]:
+    """Parses every file in `files` (cpp_model.SourceFile list) with libclang;
+    returns None when parsing is impossible so the caller falls back."""
+    if not available():
+        return None
+    import clang.cindex as ci
+
+    index = ci.Index.create()
+    args_by_src = _compile_args(cc_path)
+    default_args = ["-std=c++20", "-x", "c++", f"-I{os.path.join(root, 'src')}"]
+
+    enums: List[EnumDef] = []
+    switches: Dict[str, List[ClangSwitch]] = {}
+    unordered: Set[str] = set()
+    fn_typed: Set[str] = set()
+
+    for sf in files:
+        if not sf.path.endswith(SOURCE_EXTS):
+            continue
+        args = args_by_src.get(os.path.abspath(sf.path), default_args)
+        try:
+            tu = index.parse(sf.path, args=args)
+        except Exception:
+            return None  # engine unusable: fall back wholesale, do not mix
+        _walk(tu.cursor, sf, root, enums, switches, unordered, fn_typed)
+
+    return ClangFacts(tuple(enums), {k: tuple(v) for k, v in switches.items()},
+                      unordered, fn_typed)
+
+
+def _walk(cursor, sf, root, enums, switches, unordered, fn_typed) -> None:
+    for c in cursor.get_children():
+        loc = c.location
+        in_file = loc.file is not None and os.path.abspath(loc.file.name) == os.path.abspath(sf.path)
+        if in_file:
+            kind = c.kind.name
+            if kind == "ENUM_DECL" and c.is_definition():
+                names = tuple(e.spelling for e in c.get_children()
+                              if e.kind.name == "ENUM_CONSTANT_DECL")
+                if names:
+                    enums.append(EnumDef(_qualified_path(c), names, sf.display, loc.line))
+            elif kind == "SWITCH_STMT":
+                facts = _switch_facts(c)
+                if facts is not None:
+                    switches.setdefault(sf.display, []).append(
+                        ClangSwitch(facts[0], facts[1], facts[2], loc.line))
+            elif kind in ("VAR_DECL", "FIELD_DECL", "PARM_DECL"):
+                spelling = c.type.get_canonical().spelling
+                if "unordered_" in spelling:
+                    unordered.add(c.spelling)
+                if "std::function<" in spelling:
+                    fn_typed.add(c.spelling)
+        _walk(c, sf, root, enums, switches, unordered, fn_typed)
+
+
+def _switch_facts(cursor):
+    children = list(cursor.get_children())
+    if len(children) < 2:
+        return None
+    cond, body = children[0], children[-1]
+    cond_type = cond.type.get_canonical()
+    decl = cond_type.get_declaration()
+    if decl is None or decl.kind.name != "ENUM_DECL":
+        return None
+    enum_path = _qualified_path(decl)
+    handled: List[str] = []
+    has_default = False
+
+    def visit(c):
+        nonlocal has_default
+        for ch in c.get_children():
+            if ch.kind.name == "SWITCH_STMT":
+                continue  # nested switch: its cases are its own
+            if ch.kind.name == "CASE_STMT":
+                label = next(iter(ch.get_children()), None)
+                if label is not None:
+                    ref = label.referenced if hasattr(label, "referenced") else None
+                    name = ref.spelling if ref is not None else label.spelling
+                    if name:
+                        handled.append(name)
+            elif ch.kind.name == "DEFAULT_STMT":
+                has_default = True
+            visit(ch)
+
+    visit(body)
+    return enum_path, tuple(handled), has_default

@@ -1,0 +1,144 @@
+// amm_analyze --self-test corpus: a tagged-union codec whose wire_size()
+// disagrees with the encoder/decoder for kA, and whose kB count guard
+// multiplies by the wrong per-element width (expected: codec-consistency
+// and codec-bounds).
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace selftest {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+inline constexpr usize kPKindBytes = 1;
+inline constexpr usize kPCountBytes = 4;
+inline constexpr usize kPEntryBytes = 8;
+
+class Encoder {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  std::optional<u8> get_u8() {
+    if (!ok_ || remaining() < 1) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    return bytes_[pos_++];
+  }
+  std::optional<u32> get_u32() {
+    if (!ok_ || remaining() < 4) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::optional<u64> get_u64() {
+    if (!ok_ || remaining() < 8) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  bool ok() const { return ok_; }
+  usize remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+  bool ok_ = true;
+};
+
+enum class PKind : u8 { kA, kB };
+
+struct Packet {
+  PKind kind = PKind::kA;
+  u32 a = 0;
+  u64 b = 0;
+  std::vector<u32> items;
+
+  usize wire_size() const {
+    switch (kind) {
+      case PKind::kA:
+        return kPKindBytes + 8;  // VIOLATION: the encoder writes 4 bytes for `a`
+      case PKind::kB:
+        return kPKindBytes + 8 + kPCountBytes + items.size() * kPEntryBytes;
+    }
+    return kPKindBytes;
+  }
+};
+
+void encode_packet(Encoder& enc, const Packet& p) {
+  enc.put_u8(static_cast<u8>(p.kind));
+  switch (p.kind) {
+    case PKind::kA:
+      enc.put_u32(p.a);
+      break;
+    case PKind::kB:
+      enc.put_u64(p.b);
+      enc.put_u32(static_cast<u32>(p.items.size()));
+      for (const u32 item : p.items) enc.put_u32(item);
+      break;
+  }
+}
+
+std::optional<Packet> decode_packet(std::span<const u8> payload) {
+  Decoder dec(payload);
+  const auto kind = dec.get_u8();
+  if (!kind) return std::nullopt;
+  Packet p;
+  p.kind = static_cast<PKind>(*kind);
+  switch (p.kind) {
+    case PKind::kA: {
+      const auto a = dec.get_u32();
+      if (!a) return std::nullopt;
+      p.a = *a;
+      break;
+    }
+    case PKind::kB: {
+      const auto b = dec.get_u64();
+      const auto n = dec.get_u32();
+      if (!b || !n) return std::nullopt;
+      // VIOLATION: guard multiplies by kPEntryBytes (8) but the loop below
+      // consumes 4 bytes per element.
+      if (dec.remaining() != static_cast<usize>(*n) * kPEntryBytes) {
+        return std::nullopt;
+      }
+      p.b = *b;
+      p.items.reserve(*n);
+      for (u32 i = 0; i < *n; ++i) {
+        const auto item = dec.get_u32();
+        if (!item) return std::nullopt;
+        p.items.push_back(*item);
+      }
+      break;
+    }
+  }
+  if (dec.remaining() != 0) return std::nullopt;
+  return p;
+}
+
+}  // namespace selftest

@@ -1,0 +1,40 @@
+// amm_analyze --self-test corpus: an AB/BA lock-order cycle plus blocking
+// operations under a held lock (expected: lock-cycle and lock-blocking).
+#include <functional>
+#include <mutex>
+#include <sys/socket.h>
+
+namespace selftest {
+
+class Channel {
+ public:
+  void forward() {
+    std::scoped_lock la(a_);
+    std::scoped_lock lb(b_);  // acquisition order a_ -> b_ ...
+    ++depth_;
+  }
+
+  void backward() {
+    std::scoped_lock lb(b_);
+    std::scoped_lock la(a_);  // VIOLATION: ... and b_ -> a_ elsewhere: cycle
+    --depth_;
+  }
+
+  void push(const void* data) {
+    std::scoped_lock la(a_);
+    ::send(3, data, 8, 0);  // VIOLATION: blocking syscall while holding a_
+  }
+
+  void notify() {
+    std::scoped_lock lb(b_);
+    done_();  // VIOLATION: user callback invoked while holding b_
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  int depth_ = 0;
+  std::function<void()> done_;
+};
+
+}  // namespace selftest

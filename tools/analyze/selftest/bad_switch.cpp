@@ -1,0 +1,24 @@
+// amm_analyze --self-test corpus: a handler switch that misses message
+// kinds and hides behind a silent default (expected: switch-exhaustive
+// and switch-default).
+namespace selftest {
+
+enum class MsgK { kPing, kPong, kData };
+
+struct Stats {
+  int pings = 0;
+  int other = 0;
+};
+
+void handle(MsgK kind, Stats& stats) {
+  switch (kind) {  // VIOLATION: kPong and kData are not handled
+    case MsgK::kPing:
+      ++stats.pings;
+      break;
+    default:  // VIOLATION: a new enumerator would be silently dropped here
+      ++stats.other;
+      break;
+  }
+}
+
+}  // namespace selftest

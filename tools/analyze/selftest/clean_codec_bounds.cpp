@@ -1,0 +1,52 @@
+// amm_analyze --self-test corpus: the bounds-clean twin of
+// bad_codec_bounds.cpp (expected: no findings).
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace selftest {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using usize = std::size_t;
+
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  std::optional<u8> get_u8() {
+    if (!ok_ || remaining() < 1) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    return bytes_[pos_++];
+  }
+
+  std::optional<u32> get_u32() {
+    if (!ok_ || remaining() < 4) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  usize remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+  bool ok_ = true;
+};
+
+std::optional<u32> decode_sum(Reader& dec) {
+  const auto a = dec.get_u32();
+  const auto b = dec.get_u32();
+  if (!dec.ok()) return std::nullopt;
+  return *a + *b;
+}
+
+}  // namespace selftest

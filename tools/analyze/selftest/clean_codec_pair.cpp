@@ -1,0 +1,79 @@
+// amm_analyze --self-test corpus: a byte-for-byte consistent
+// encode_point/decode_point pair (expected: no findings).
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace selftest {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using usize = std::size_t;
+
+class Encoder {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u32(u32 v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  void put_u64(u64 v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  std::optional<u32> get_u32() {
+    if (!ok_ || remaining() < 4) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::optional<u64> get_u64() {
+    if (!ok_ || remaining() < 8) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  bool ok() const { return ok_; }
+  usize remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+  bool ok_ = true;
+};
+
+struct Point {
+  u32 x = 0;
+  u64 y = 0;
+};
+
+void encode_point(Encoder& enc, const Point& p) {
+  enc.put_u32(p.x);
+  enc.put_u64(p.y);
+}
+
+std::optional<Point> decode_point(Decoder& dec) {
+  const auto x = dec.get_u32();
+  const auto y = dec.get_u64();
+  if (!dec.ok()) return std::nullopt;
+  return Point{*x, *y};
+}
+
+}  // namespace selftest

@@ -1,0 +1,58 @@
+// amm_analyze --self-test corpus: disciplined locking — a consistent
+// global order, simultaneous scoped_lock acquisition, and the sanctioned
+// condition-variable wait that releases its lock (expected: no findings).
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace selftest {
+
+class Queue {
+ public:
+  void push(int v) {
+    {
+      std::scoped_lock lk(m_);
+      items_.push_back(v);
+    }
+    cv_.notify_one();
+  }
+
+  int wait_pop() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [&] { return !items_.empty(); });  // wait releases m_
+    const int v = items_.back();
+    items_.pop_back();
+    return v;
+  }
+
+  void on_drain(std::function<void()> cb) {
+    {
+      std::scoped_lock lk(m_);
+      drained_ = std::move(cb);
+    }
+    drained_();  // callback invoked after the lock is released
+  }
+
+  void transfer() {
+    std::scoped_lock lk(a_, b_);  // simultaneous: no ordering edge
+    ++moves_;
+  }
+
+  void sweep() {
+    std::scoped_lock la(a_);
+    std::scoped_lock lb(b_);  // same a_ -> b_ order everywhere: acyclic
+    ++moves_;
+  }
+
+ private:
+  std::mutex m_;
+  std::mutex a_;
+  std::mutex b_;
+  std::condition_variable cv_;
+  std::vector<int> items_;
+  std::function<void()> drained_;
+  int moves_ = 0;
+};
+
+}  // namespace selftest

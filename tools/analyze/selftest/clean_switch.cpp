@@ -1,0 +1,40 @@
+// amm_analyze --self-test corpus: exhaustive handler dispatch with no
+// default, plus a char switch the enum rules must ignore (expected: no
+// findings).
+namespace selftest {
+
+enum class MsgK { kPing, kPong, kData };
+
+struct Stats {
+  int pings = 0;
+  int pongs = 0;
+  int datas = 0;
+  int dashes = 0;
+};
+
+void handle(MsgK kind, Stats& stats) {
+  switch (kind) {
+    case MsgK::kPing:
+      ++stats.pings;
+      break;
+    case MsgK::kPong:
+      ++stats.pongs;
+      break;
+    case MsgK::kData:
+      ++stats.datas;
+      break;
+  }
+}
+
+// A switch over a plain char is not enum dispatch: default is fine here.
+void classify(char c, Stats& stats) {
+  switch (c) {
+    case '-':
+      ++stats.dashes;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace selftest

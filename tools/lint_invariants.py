@@ -14,13 +14,18 @@ reproduction depends on (docs/ANALYSIS.md):
   unordered-iter    no range-for iteration over std::unordered_* containers
                     in src/ or tools/ — their order is
                     implementation-defined, so any protocol decision fed
-                    from it is nondeterministic. Suppress a deliberate
-                    order-insensitive fold with
+                    from it is nondeterministic. SUPERSEDED by the AST-level
+                    `determinism-taint` rule of tools/analyze/amm_analyze.py
+                    (which also catches iterator loops, algorithms and
+                    aliases); the regex path is kept behind --no-ast for
+                    machines that cannot run the analyzer. Suppress a
+                    deliberate order-insensitive fold with
                     `// lint:allow(unordered-iter)` on the loop line.
-  pragma-once       every header under src/ or tools/ starts with
-                    `#pragma once` before its first #include.
+  pragma-once       every header under src/, tools/, bench/ or tests/
+                    starts with `#pragma once` before its first #include.
   include-order     within a file, system includes (<...>) precede project
-                    includes ("..."); a .cpp may lead with its own header.
+                    includes ("..."); a .cpp may lead with its own header,
+                    and a *_test.cpp with the header under test.
   no-artifacts      no build artifacts tracked by git (build*/, *.o,
                     CMakeCache.txt, CMakeFiles/, CTest Testing/).
 
@@ -162,7 +167,9 @@ def check_include_order(path: str, lines: List[str]) -> Iterable[Violation]:
         if m:
             includes.append((i, m.group("kind"), m.group("target"), raw))
     start = 0
-    if path.endswith(".cpp") and includes and includes[0][1] == '"':
+    if path.endswith("_test.cpp") and includes and includes[0][1] == '"':
+        start = 1  # header-under-test-first convention (mirrors own-header)
+    elif path.endswith(".cpp") and includes and includes[0][1] == '"':
         own = os.path.basename(path)[: -len(".cpp")] + ".hpp"
         if includes[0][2].endswith(own):
             start = 1  # own-header-first convention
@@ -208,29 +215,53 @@ FILE_CHECKS = [
     check_include_order,
 ]
 
+#: Hygiene-only checks applied to bench/ and tests/: benchmarks and tests
+#: legitimately do things production code may not (sleep in socket tests,
+#: iterate unordered state they just built), so only the layout rules apply.
+LAYOUT_CHECKS = [
+    check_pragma_once,
+    check_include_order,
+]
 
-def lint_file(path: str, display_path: str | None = None) -> List[Violation]:
+
+def lint_file(path: str, display_path: str | None = None,
+              checks: list | None = None) -> List[Violation]:
     with open(path, encoding="utf-8", errors="replace") as fh:
         lines = fh.read().splitlines()
     shown = display_path or path
     violations: List[Violation] = []
-    for check in FILE_CHECKS:
+    for check in checks if checks is not None else FILE_CHECKS:
         violations.extend(check(shown, lines))
     return violations
 
 
 LINT_DIRS = ("src", "tools")
+LAYOUT_DIRS = ("bench", "tests")
 
 
-def lint_tree(root: str) -> List[Violation]:
+def _walk_sources(root: str, top: str):
+    for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+        # Skip stray build litter and the analyzer's seeded-violation corpus
+        # (tools/analyze/selftest/ deliberately violates every rule).
+        dirnames[:] = [
+            d for d in dirnames
+            if d != "CMakeFiles" and not (d == "selftest" and dirpath.endswith("analyze"))
+        ]
+        for fn in sorted(filenames):
+            if fn.endswith(SOURCE_EXTS):
+                yield os.path.join(dirpath, fn)
+
+
+def lint_tree(root: str, *, regex_unordered: bool = False) -> List[Violation]:
+    checks = FILE_CHECKS if regex_unordered else \
+        [c for c in FILE_CHECKS if c is not check_unordered_iteration]
     violations: List[Violation] = []
     for top in LINT_DIRS:
-        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
-            dirnames[:] = [d for d in dirnames if d != "CMakeFiles"]  # stray build litter
-            for fn in sorted(filenames):
-                if fn.endswith(SOURCE_EXTS):
-                    full = os.path.join(dirpath, fn)
-                    violations.extend(lint_file(full, os.path.relpath(full, root)))
+        for full in _walk_sources(root, top):
+            violations.extend(lint_file(full, os.path.relpath(full, root), checks))
+    for top in LAYOUT_DIRS:
+        for full in _walk_sources(root, top):
+            violations.extend(lint_file(full, os.path.relpath(full, root), LAYOUT_CHECKS))
     violations.extend(check_no_artifacts(root))
     return violations
 
@@ -283,6 +314,19 @@ SELF_TEST_CASES = [
         set(),
     ),
     (
+        # *_test.cpp files lead with the header under test (mirroring the
+        # own-header convention); system includes after it are fine.
+        "widget_test.cpp",
+        '#include "net/widget.hpp"\n#include <vector>\n#include "support/types.hpp"\nint f();\n',
+        set(),
+    ),
+    (
+        # ... but only the FIRST project include is exempt.
+        "gadget_test.cpp",
+        '#include "net/gadget.hpp"\n#include "support/types.hpp"\n#include <vector>\nint f();\n',
+        {"include-order"},
+    ),
+    (
         "allowed.cpp",
         "#include <unordered_set>\n"
         "int f() {\n"
@@ -323,6 +367,13 @@ def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--root", default=".", help="repository root (default: cwd)")
     parser.add_argument("--self-test", action="store_true", help="verify the checker against seeded violations")
+    parser.add_argument(
+        "--no-ast",
+        action="store_true",
+        help="also run the regex unordered-iter rule (fallback for machines that "
+        "cannot run tools/analyze/amm_analyze.py, which supersedes it with the "
+        "AST-level determinism-taint rule)",
+    )
     args = parser.parse_args(argv)
 
     if args.self_test:
@@ -333,7 +384,7 @@ def main(argv: List[str]) -> int:
         print(f"lint_invariants: no src/ under {root}", file=sys.stderr)
         return 2
 
-    violations = lint_tree(root)
+    violations = lint_tree(root, regex_unordered=args.no_ast)
     for v in violations:
         print(v.render())
     if violations:
