@@ -1,0 +1,70 @@
+#include "crypto/batch.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace amm::crypto {
+
+namespace {
+
+/// Distinct triples hash to distinct keys with the same combiner the
+/// VerifyCache uses internally, so grouping here matches its granularity.
+u64 group_key(const BatchCheck& check) {
+  return DigestBuilder{}
+      .add(check.digest)
+      .add(static_cast<u64>(check.sig.signer.index))
+      .add(check.sig.tag)
+      .finish();
+}
+
+}  // namespace
+
+void verify_batch(VerifyCache& cache, std::span<BatchCheck> checks, ThreadPool* pool,
+                  usize min_parallel) {
+  // Pre-pass (calling thread): answer from the cache, group the misses so
+  // a record carried by several read replies in one cycle verifies once.
+  std::unordered_map<u64, usize> group_of;  // group key -> index into `misses`
+  struct Miss {
+    usize first;  ///< index of the representative check
+    bool ok = false;
+  };
+  std::vector<Miss> misses;
+  std::vector<usize> member_group(checks.size());
+  std::vector<bool> is_miss(checks.size(), false);
+  for (usize i = 0; i < checks.size(); ++i) {
+    if (cache.lookup(checks[i].digest, checks[i].sig)) {
+      checks[i].ok = true;
+      continue;
+    }
+    const u64 key = group_key(checks[i]);
+    const auto [it, inserted] = group_of.try_emplace(key, misses.size());
+    if (inserted) misses.push_back(Miss{i});
+    member_group[i] = it->second;
+    is_miss[i] = true;
+  }
+  if (misses.empty()) return;
+
+  // Registry sweep: pure const computation, safe to fan out. Each worker
+  // writes only its own Miss::ok slot.
+  const KeyRegistry& registry = cache.registry();
+  const auto verify_one = [&](usize g) {
+    const BatchCheck& check = checks[misses[g].first];
+    misses[g].ok = registry.verify(check.digest, check.sig);
+  };
+  if (pool != nullptr && misses.size() >= min_parallel) {
+    parallel_for(*pool, misses.size(), verify_one);
+  } else {
+    for (usize g = 0; g < misses.size(); ++g) verify_one(g);
+  }
+
+  // Post-pass (calling thread): admit successes into the cache, spread
+  // verdicts back to every member of each group.
+  for (usize i = 0; i < checks.size(); ++i) {
+    if (!is_miss[i]) continue;
+    const Miss& miss = misses[member_group[i]];
+    checks[i].ok = miss.ok;
+    if (miss.ok && i == miss.first) cache.admit(checks[i].digest, checks[i].sig);
+  }
+}
+
+}  // namespace amm::crypto

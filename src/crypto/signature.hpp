@@ -111,24 +111,44 @@ class VerifyCache {
 
   /// Same contract as KeyRegistry::verify, plus memoization of successes.
   bool verify(u64 digest, const Signature& sig) {
-    const u64 key = DigestBuilder{}
-                        .add(digest)
-                        .add(static_cast<u64>(sig.signer.index))
-                        .add(sig.tag)
-                        .finish();
-    if (verified_.contains(key)) {
-      ++hits_;
-      return true;
-    }
+    if (lookup(digest, sig)) return true;
     if (!registry_->verify(digest, sig)) return false;
-    verified_.insert(key);
+    admit(digest, sig);
     return true;
   }
+
+  /// Cache-only probe: true (counted as a hit) iff this exact (digest,
+  /// signer, tag) triple verified successfully before. Never consults the
+  /// registry — the pre-pass of crypto::verify_batch, which defers the
+  /// registry work for all misses into one (optionally parallel) sweep.
+  bool lookup(u64 digest, const Signature& sig) {
+    if (!verified_.contains(cache_key(digest, sig))) return false;
+    ++hits_;
+    return true;
+  }
+
+  /// Records a successful registry verification (verify_batch's post-pass;
+  /// callers must have actually verified — admitting a forgery would cache
+  /// it). Not thread-safe: call from the owning thread only.
+  void admit(u64 digest, const Signature& sig) { verified_.insert(cache_key(digest, sig)); }
+
+  /// The registry behind the cache. KeyRegistry::verify is const and pure
+  /// (siphash over immutable keys), so batch verification may call it from
+  /// worker threads while the cache itself stays single-threaded.
+  const KeyRegistry& registry() const { return *registry_; }
 
   u64 hits() const { return hits_; }
   usize size() const { return verified_.size(); }
 
  private:
+  static u64 cache_key(u64 digest, const Signature& sig) {
+    return DigestBuilder{}
+        .add(digest)
+        .add(static_cast<u64>(sig.signer.index))
+        .add(sig.tag)
+        .finish();
+  }
+
   const KeyRegistry* registry_;
   std::unordered_set<u64> verified_;
   u64 hits_ = 0;

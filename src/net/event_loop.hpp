@@ -1,0 +1,92 @@
+// Readiness-notification seam for the TCP transport's reactor.
+//
+// The transport used to rebuild a pollfd vector and call ::poll every
+// cycle — O(sessions) per iteration even when one fd is ready, which caps
+// a node at a few dozen connections. EventLoop abstracts the readiness
+// primitive behind add/modify/remove/wait so the reactor pays O(changes)
+// for registration and O(ready) per cycle, with two backends selected at
+// runtime:
+//
+//   kEpoll — epoll(7), Linux only. The kernel holds the interest set;
+//            wait() returns only ready fds. The production backend.
+//   kPoll  — a persistent pollfd vector maintained incrementally (no
+//            per-cycle rebuild). Portable fallback and the reference the
+//            parity suite (tests/net/event_loop_test.cpp) compares epoll
+//            against: both are level-triggered, so a transport above the
+//            seam behaves identically on either.
+//
+// Registrations are (fd, token, interest): the token — not the fd — is
+// what wait() reports, so a session torn down mid-dispatch cannot be
+// confused with a new session that recycled its fd number. wait() retries
+// EINTR against the original deadline and clamps the millisecond argument
+// into the int domain (the old reactor truncated and could spin or stall).
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace amm::net {
+
+enum class LoopBackend : u8 {
+  kAuto = 0,   ///< epoll where available (Linux), poll elsewhere
+  kPoll = 1,
+  kEpoll = 2,  ///< make() fails on platforms without epoll
+};
+
+/// Parses "auto" / "poll" / "epoll" (the amm_node --backend flag).
+/// Unknown strings map to kAuto.
+LoopBackend parse_loop_backend(const std::string& name);
+
+/// One ready registration, reported by token. `error` covers hangup and
+/// error conditions (POLLERR/POLLHUP/POLLNVAL, EPOLLERR/EPOLLHUP); a
+/// readable error still delivers the buffered bytes and EOF through read.
+struct ReadyEvent {
+  u64 token = 0;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;
+};
+
+class EventLoop {
+ public:
+  static constexpr u32 kRead = 1;
+  static constexpr u32 kWrite = 2;
+
+  virtual ~EventLoop() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Registers `fd` with the given interest mask. The token is returned
+  /// verbatim in ReadyEvent. One registration per fd.
+  virtual bool add(int fd, u64 token, u32 interest) = 0;
+
+  /// Replaces the interest mask (and token) of a registered fd.
+  virtual bool modify(int fd, u64 token, u32 interest) = 0;
+
+  /// Unregisters `fd`. Must be called before the fd is closed so a
+  /// recycled descriptor number cannot inherit a stale registration
+  /// (epoll would otherwise keep reporting the old token until the
+  /// kernel's own file reference drops). Unknown fds are ignored.
+  virtual void remove(int fd) = 0;
+
+  /// Number of registered fds.
+  virtual usize watched() const = 0;
+
+  /// Waits up to `max_wait` for readiness and appends ready registrations
+  /// to `*out` (cleared first). Returns the number of ready events, 0 on
+  /// timeout. EINTR is retried without extending the deadline; negative
+  /// waits are treated as 0 and waits beyond INT_MAX ms are chunked, so
+  /// the caller's deadline is honored exactly regardless of magnitude.
+  virtual int wait(std::chrono::milliseconds max_wait, std::vector<ReadyEvent>* out) = 0;
+
+  /// Constructs the requested backend; kAuto prefers epoll where the
+  /// platform has it. Returns nullptr only if an explicitly requested
+  /// backend is unavailable (kEpoll off-Linux or descriptor exhaustion).
+  static std::unique_ptr<EventLoop> make(LoopBackend backend);
+};
+
+}  // namespace amm::net

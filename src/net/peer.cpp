@@ -1,8 +1,90 @@
 #include "net/peer.hpp"
 
+#include <sys/socket.h>
+#include <sys/uio.h>
+
 #include <algorithm>
+#include <cerrno>
 
 namespace amm::net {
+
+namespace {
+
+/// The front-to-back drain order of a session's queues: the partially
+/// written frame (whatever its class) must finish first so frames stay
+/// atomic on the wire; then the ctl class, then replication. `index` is
+/// the position within the class queue.
+struct FrameRef {
+  usize cls = 0;
+  usize index = 0;
+};
+
+/// Fills `refs` with up to `max_iov` frames in drain order.
+usize drain_order(const Session& s, FrameRef* refs, usize max_iov) {
+  usize n = 0;
+  usize skip[kTxClasses] = {0, 0};
+  if (s.tx_active >= 0) {
+    refs[n++] = FrameRef{static_cast<usize>(s.tx_active), 0};
+    skip[s.tx_active] = 1;
+  }
+  for (usize cls = 0; cls < kTxClasses && n < max_iov; ++cls) {
+    for (usize i = skip[cls]; i < s.tx[cls].size() && n < max_iov; ++i) {
+      refs[n++] = FrameRef{cls, i};
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+FlushResult flush_session_buffers(Session& session, usize max_iov) {
+  FlushResult result;
+  max_iov = std::min(max_iov, kMaxWriteIov);
+  while (session.tx_bytes > 0) {
+    FrameRef refs[kMaxWriteIov];
+    iovec iov[kMaxWriteIov];
+    const usize chain = drain_order(session, refs, max_iov);
+    for (usize i = 0; i < chain; ++i) {
+      std::vector<u8>& frame = session.tx[refs[i].cls][refs[i].index];
+      const usize off = (i == 0 && session.tx_active >= 0) ? session.tx_off : 0;
+      iov[i].iov_base = frame.data() + off;
+      iov[i].iov_len = frame.size() - off;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = chain;
+    const ssize_t n = ::sendmsg(session.fd, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return result;  // resume on writable
+      result.fatal = true;  // EPIPE/ECONNRESET etc.
+      return result;
+    }
+    ++result.syscalls;
+    result.bytes += static_cast<u64>(n);
+    session.tx_bytes -= static_cast<usize>(n);
+    // Consume in the same drain order the iovec chain was built in.
+    usize left = static_cast<usize>(n);
+    while (left > 0) {
+      const usize cls = session.tx_active >= 0
+                            ? static_cast<usize>(session.tx_active)
+                            : (!session.tx[0].empty() ? 0u : 1u);
+      std::vector<u8>& front = session.tx[cls].front();
+      const usize remaining = front.size() - session.tx_off;
+      if (left >= remaining) {
+        left -= remaining;
+        session.tx[cls].pop_front();
+        session.tx_off = 0;
+        session.tx_active = -1;
+      } else {
+        session.tx_off += left;
+        session.tx_active = static_cast<int>(cls);
+        left = 0;
+      }
+    }
+  }
+  return result;
+}
 
 Hello make_hello(NodeId self, u64 nonce, const crypto::KeyRegistry& keys) {
   Hello hello;
@@ -37,6 +119,60 @@ Admission validate_message(mp::WireMessage& msg, NodeId from, crypto::VerifyCach
       };
       const auto removed = std::erase_if(msg.view, invalid);
       if (filtered != nullptr) *filtered += removed;
+      return Admission::kDeliver;
+    }
+  }
+  return Admission::kReject;
+}
+
+Admission collect_signature_checks(mp::WireMessage& msg, NodeId from,
+                                   std::vector<crypto::BatchCheck>& checks, u64* filtered) {
+  switch (msg.kind) {
+    case mp::WireMessage::Kind::kAppend:
+      if (msg.append.sig.signer != msg.append.author) return Admission::kReject;
+      checks.push_back(crypto::BatchCheck{msg.append.digest(), msg.append.sig, false});
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kAck:
+      if (msg.ack_sig.signer != from) return Admission::kReject;
+      checks.push_back(crypto::BatchCheck{msg.append.digest(), msg.ack_sig, false});
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kReadReq:
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kReadReply: {
+      // Structural filter now; signature verdicts arrive with the batch.
+      const auto removed = std::erase_if(msg.view, [](const mp::SignedAppend& rec) {
+        return rec.sig.signer != rec.author;
+      });
+      if (filtered != nullptr) *filtered += removed;
+      for (const mp::SignedAppend& rec : msg.view) {
+        checks.push_back(crypto::BatchCheck{rec.digest(), rec.sig, false});
+      }
+      return Admission::kDeliver;
+    }
+  }
+  return Admission::kReject;
+}
+
+Admission apply_verify_verdicts(mp::WireMessage& msg,
+                                std::span<const crypto::BatchCheck> checks, u64* filtered) {
+  switch (msg.kind) {
+    case mp::WireMessage::Kind::kAppend:
+    case mp::WireMessage::Kind::kAck:
+      return (!checks.empty() && checks[0].ok) ? Admission::kDeliver : Admission::kReject;
+    case mp::WireMessage::Kind::kReadReq:
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kReadReply: {
+      // checks[i] corresponds to view[i]: collect_signature_checks queued
+      // them in view order after the structural filter.
+      usize kept = 0;
+      for (usize i = 0; i < msg.view.size(); ++i) {
+        if (i < checks.size() && checks[i].ok) {
+          if (kept != i) msg.view[kept] = std::move(msg.view[i]);
+          ++kept;
+        }
+      }
+      if (filtered != nullptr) *filtered += msg.view.size() - kept;
+      msg.view.resize(kept);
       return Admission::kDeliver;
     }
   }

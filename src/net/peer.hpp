@@ -1,21 +1,33 @@
 // Peer sessions and wire-level admission control for the TCP transport.
 //
 // A Session owns one TCP connection's buffered state (receive buffer,
-// outbound byte queue, handshake progress). Inbound protocol sessions must
-// open with a valid kHello frame — a signature over the hello digest that
-// only the claimed node's key can produce — before any kMsg frame is
+// outbound frame queues, handshake progress). Inbound protocol sessions
+// must open with a valid kHello frame — a signature over the hello digest
+// that only the claimed node's key can produce — before any kMsg frame is
 // dispatched; transport sessions that fail authentication are dropped.
 //
-// validate_message() additionally enforces Lemma 4.1 at the wire: append
-// records and acks whose signatures do not verify are rejected before the
-// protocol handler ever sees them, and read replies are filtered down to
-// their validly-signed records. AbdNode re-checks on its own layer — the
-// wire check exists so a compromised peer cannot even spend handler CPU.
+// The outbound side is two priority queues of whole frames. The ctl class
+// (hellos, control-plane replies) drains before the replication class
+// (kMsg traffic) and is exempt from backpressure, so an operator's stats
+// request cuts ahead of a replication backlog and a slow reader can never
+// starve the control plane. flush_session_buffers() drains both classes
+// through bounded writev chains — one syscall moves many small frames —
+// and tracks the partially written frame so frames stay atomic on the
+// wire no matter where a short write lands.
+//
+// validate_message() enforces Lemma 4.1 at the wire for the inline
+// (unbatched) path; collect_signature_checks()/apply_verify_verdicts()
+// split the same admission rule into a structural pre-check plus deferred
+// signature verification so the transport can batch one drain cycle's
+// records through crypto::verify_batch. AbdNode re-checks on its own
+// layer — the wire check exists so a compromised peer cannot even spend
+// handler CPU.
 #pragma once
 
 #include <deque>
 #include <vector>
 
+#include "crypto/batch.hpp"
 #include "crypto/signature.hpp"
 #include "net/codec.hpp"
 
@@ -28,26 +40,65 @@ enum class SessionState : u8 {
   kClosed,
 };
 
-/// One live connection. The transport owns the fd and the poll
+/// Outbound priority class of a frame. kCtl (hellos, ctl replies) drains
+/// first and is never dropped by backpressure; kRepl (protocol kMsg
+/// frames) is subject to the per-peer byte budget.
+enum class TxClass : u8 { kCtl = 0, kRepl = 1 };
+
+inline constexpr usize kTxClasses = 2;
+/// Frames coalesced into one writev chain (well under IOV_MAX, 1024 on
+/// Linux; 64 frames ≈ one TCP send buffer's worth of small appends).
+inline constexpr usize kMaxWriteIov = 64;
+
+/// One live connection. The transport owns the fd and the loop
 /// registration; the Session owns every buffered byte.
 struct Session {
   int fd = -1;
-  u64 id = 0;  ///< transport-unique session id (ctl reply routing)
+  u64 id = 0;  ///< transport-unique session id; doubles as the loop token
   SessionState state = SessionState::kAwaitingHello;
   NodeId peer;            ///< valid once state == kProtocol
   bool outbound = false;  ///< we dialed it (receive side still accepted)
   std::vector<u8> rx;
-  /// Outbound queue, one encoded frame per entry. Frame granularity
-  /// matters: when a connection dies, every frame that did not fully
-  /// leave the socket can be salvaged for the next connection — a frame
-  /// the remote only partially received was, by the framing discipline,
-  /// never delivered, so resending it whole cannot duplicate.
-  std::deque<std::vector<u8>> tx;
-  usize tx_off = 0;  ///< bytes of tx.front() already written
+  /// Outbound queues, one encoded frame per entry, indexed by TxClass.
+  /// Frame granularity matters: when a connection dies, every replication
+  /// frame that did not fully leave the socket can be salvaged for the
+  /// next connection — a frame the remote only partially received was, by
+  /// the framing discipline, never delivered, so resending it whole
+  /// cannot duplicate.
+  std::deque<std::vector<u8>> tx[kTxClasses];
+  usize tx_off = 0;    ///< bytes of the active front frame already written
+  int tx_active = -1;  ///< class owning the partially written front (-1: none)
+  usize tx_bytes = 0;  ///< unsent bytes across both classes
+  bool paused = false; ///< over the high watermark: kRepl enqueues are refused
+  u32 interest = 0;    ///< interest mask currently registered with the loop
+  bool dirty = false;  ///< already on the transport's flush list this cycle
 
-  bool wants_write() const { return !tx.empty(); }
-  void queue_frame(std::vector<u8> frame) { tx.push_back(std::move(frame)); }
+  bool wants_write() const { return tx_bytes > 0; }
+
+  /// Appends a frame to its class queue. Returns false — frame refused —
+  /// only for kRepl while paused (the caller counts the drop); the caller
+  /// updates `paused` against its watermarks after a successful enqueue.
+  bool queue_frame(TxClass cls, std::vector<u8> frame) {
+    if (cls == TxClass::kRepl && paused) return false;
+    tx_bytes += frame.size();
+    tx[static_cast<usize>(cls)].push_back(std::move(frame));
+    return true;
+  }
 };
+
+/// Outcome of one flush_session_buffers() call.
+struct FlushResult {
+  bool fatal = false;  ///< connection error (EPIPE/ECONNRESET/...): close it
+  u64 syscalls = 0;    ///< writev/sendmsg invocations performed
+  u64 bytes = 0;       ///< bytes accepted by the socket
+};
+
+/// Drains the session's queues — partial front first, then the ctl class,
+/// then replication — through writev chains of up to `max_iov` frames per
+/// syscall. Stops on EAGAIN (socket full; resume on the next writable
+/// event). Never blocks: the fd must be nonblocking and the chain is sent
+/// with MSG_DONTWAIT regardless.
+FlushResult flush_session_buffers(Session& session, usize max_iov = kMaxWriteIov);
 
 /// Outcome of wire-level admission of one decoded message.
 enum class Admission : u8 {
@@ -78,5 +129,24 @@ bool verify_hello(const Hello& hello, u32 node_count, const crypto::KeyRegistry&
 /// cached and are re-rejected on every delivery.
 Admission validate_message(mp::WireMessage& msg, NodeId from, crypto::VerifyCache& verifier,
                            u64* filtered);
+
+/// The batched split of validate_message. Performs the *structural* half
+/// of Lemma 4.1 admission immediately — kAppend signer==author, kAck
+/// signer==from, and the same filters on kReadReply records (`*filtered`
+/// counts structurally invalid records removed in place) — and appends
+/// the signature checks still owed to `checks`. Returns kReject when the
+/// message is structurally inadmissible (caller drops it without queueing
+/// any checks); kDeliver means "admissible iff its checks verify".
+Admission collect_signature_checks(mp::WireMessage& msg, NodeId from,
+                                   std::vector<crypto::BatchCheck>& checks, u64* filtered);
+
+/// Applies the verdicts verify_batch wrote into checks[first..first+count)
+/// for a message previously admitted by collect_signature_checks (the
+/// same msg, unmodified in between). kAppend/kAck: one failed check
+/// rejects the message. kReadReply: records whose check failed are
+/// removed from msg.view in place (`*filtered` counts them); the reply is
+/// still delivered. kReadReq: no checks, always delivered.
+Admission apply_verify_verdicts(mp::WireMessage& msg,
+                                std::span<const crypto::BatchCheck> checks, u64* filtered);
 
 }  // namespace amm::net

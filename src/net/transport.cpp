@@ -4,7 +4,6 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -39,6 +38,10 @@ bool resolve(const Endpoint& ep, sockaddr_in* out) {
   return ::inet_pton(AF_INET, host, &out->sin_addr) == 1;
 }
 
+/// Deep enough that a swarm's connect burst (hundreds of clients dialing
+/// one node at once) does not shed connections before accept drains them.
+constexpr int kListenBacklog = 1024;
+
 }  // namespace
 
 TcpTransport::TcpTransport(TransportConfig config, const crypto::KeyRegistry& keys, Rng rng)
@@ -50,6 +53,9 @@ TcpTransport::TcpTransport(TransportConfig config, const crypto::KeyRegistry& ke
   AMM_EXPECTS(!config_.peers.empty());
   AMM_EXPECTS(config_.self.index < config_.peers.size());
   AMM_EXPECTS(keys.node_count() >= node_count());
+  AMM_EXPECTS(config_.outbound_low_watermark <= config_.outbound_high_watermark);
+  loop_ = EventLoop::make(config_.backend);
+  if (!loop_) loop_ = EventLoop::make(LoopBackend::kPoll);  // requested backend unavailable
 }
 
 TcpTransport::~TcpTransport() { stop(); }
@@ -66,13 +72,14 @@ bool TcpTransport::start() {
     return false;
   }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+      ::listen(fd, kListenBacklog) != 0 || !set_nonblocking(fd)) {
     ::close(fd);
     return false;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0 ||
+      !loop_->add(fd, kListenerToken, EventLoop::kRead)) {
     ::close(fd);
     return false;
   }
@@ -122,7 +129,13 @@ void TcpTransport::broadcast(NodeId from, const mp::WireMessage& msg) {
 void TcpTransport::queue_frame_to_peer(u32 peer_index, std::vector<u8> frame) {
   Link& link = links_[peer_index];
   if (link.session && link.session->state != SessionState::kClosed && !link.connecting) {
-    link.session->queue_frame(std::move(frame));
+    Session& session = *link.session;
+    if (!session.queue_frame(TxClass::kRepl, std::move(frame))) {
+      ++backpressure_drops_;  // over the high watermark: shed, don't buffer
+      return;
+    }
+    update_paused(session);
+    mark_dirty(session);
     return;
   }
   // Link down: hold the frame for the next (re)connect, oldest out first.
@@ -131,6 +144,12 @@ void TcpTransport::queue_frame_to_peer(u32 peer_index, std::vector<u8> frame) {
     ++frames_dropped_;
   }
   link.pending.push_back(std::move(frame));
+}
+
+void TcpTransport::register_session(Session& session, u32 interest) {
+  session.interest = interest;
+  loop_->add(session.fd, session.id, interest);
+  by_token_.emplace(session.id, &session);
 }
 
 void TcpTransport::dial(u32 peer_index) {
@@ -157,12 +176,15 @@ void TcpTransport::dial(u32 peer_index) {
   link.session = std::move(session);
   const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   if (rc == 0) {
+    register_session(*link.session, EventLoop::kRead);
     on_link_connected(link, peer_index);
   } else if (errno == EINPROGRESS) {
+    // Writability (or an error event) signals connect completion.
+    register_session(*link.session, EventLoop::kWrite);
     link.connecting = true;
   } else {
+    close_session(*link.session);
     link.session.reset();
-    ::close(fd);
     on_link_down(link);
   }
 }
@@ -174,30 +196,34 @@ void TcpTransport::on_link_connected(Link& link, u32 peer_index) {
   link.ever_connected = true;
   link.attempts = 0;
   // Authenticate first, then flush everything queued while the link was
-  // down — FIFO, so per-peer ordering is preserved across reconnects.
+  // down — FIFO, so per-peer ordering is preserved across reconnects. The
+  // fresh session starts unpaused, so the whole backlog enqueues; the
+  // watermark is applied once afterwards.
+  Session& session = *link.session;
   const Hello hello = make_hello(config_.self, rng_.next(), *keys_);
   std::vector<u8> frame;
   append_frame(frame, FrameKind::kHello, encode_hello(hello));
-  link.session->queue_frame(std::move(frame));
+  session.queue_frame(TxClass::kCtl, std::move(frame));
   while (!link.pending.empty()) {
-    link.session->queue_frame(std::move(link.pending.front()));
+    session.queue_frame(TxClass::kRepl, std::move(link.pending.front()));
     link.pending.pop_front();
   }
+  update_paused(session);
+  mark_dirty(session);
 }
 
 void TcpTransport::on_link_down(Link& link) {
   if (link.session) {
-    // Salvage undelivered frames for the next connection: a frame that did
-    // not fully leave the socket was never delivered (partial frames are
-    // discarded by the receiver), so it re-queues ahead of newer pending
-    // traffic. The stale hello is dropped — every connection opens its own.
+    // Salvage undelivered replication frames for the next connection: a
+    // frame that did not fully leave the socket was never delivered
+    // (partial frames are discarded by the receiver), so it re-queues
+    // ahead of newer pending traffic. The ctl class — at most a stale
+    // hello here — is dropped; every connection opens with its own.
     Session& session = *link.session;
-    while (!session.tx.empty()) {
-      std::vector<u8> frame = std::move(session.tx.back());
-      session.tx.pop_back();
-      const bool is_hello = frame.size() > kFrameHeaderBytes &&
-                            frame[kFrameHeaderBytes] == static_cast<u8>(FrameKind::kHello);
-      if (!is_hello) link.pending.push_front(std::move(frame));
+    auto& repl = session.tx[static_cast<usize>(TxClass::kRepl)];
+    while (!repl.empty()) {
+      link.pending.push_front(std::move(repl.back()));
+      repl.pop_back();
     }
     while (link.pending.size() > config_.max_pending_frames_per_peer) {
       link.pending.pop_front();
@@ -221,12 +247,7 @@ std::chrono::milliseconds TcpTransport::backoff_delay(u32 attempts) {
       std::max<i64>(1, static_cast<i64>(static_cast<double>(delay.count()) * jitter)));
 }
 
-void TcpTransport::kick_outbound() {
-  // Deferred to the top of the next poll_once: a kick arriving from a ctl
-  // handler mid-dispatch must not destroy sessions the poll loop still
-  // holds pointers to.
-  kick_requested_ = true;
-}
+void TcpTransport::kick_outbound() { kick_requested_ = true; }
 
 u32 TcpTransport::connected_outbound() const {
   u32 up = 0;
@@ -234,6 +255,18 @@ u32 TcpTransport::connected_outbound() const {
     if (link.session && !link.connecting) ++up;
   }
   return up;
+}
+
+usize TcpTransport::outbound_queued_bytes(NodeId peer) const {
+  AMM_EXPECTS(peer.index < links_.size());
+  const Link& link = links_[peer.index];
+  return link.session ? link.session->tx_bytes : 0;
+}
+
+bool TcpTransport::outbound_paused(NodeId peer) const {
+  AMM_EXPECTS(peer.index < links_.size());
+  const Link& link = links_[peer.index];
+  return link.session && link.session->paused;
 }
 
 void TcpTransport::accept_ready() {
@@ -249,6 +282,7 @@ void TcpTransport::accept_ready() {
     session->fd = fd;
     session->id = next_session_id_++;
     session->state = SessionState::kAwaitingHello;
+    register_session(*session, EventLoop::kRead);
     inbound_.push_back(std::move(session));
   }
 }
@@ -256,7 +290,7 @@ void TcpTransport::accept_ready() {
 bool TcpTransport::read_session(Session& session) {
   u8 chunk[65536];
   for (;;) {
-    const ssize_t n = ::recv(session.fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = ::recv(session.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
     if (n > 0) {
       session.rx.insert(session.rx.end(), chunk, chunk + n);
       if (static_cast<usize>(n) < sizeof(chunk)) break;
@@ -304,12 +338,16 @@ bool TcpTransport::handle_frame(Session& session, Frame& frame) {
       if (session.state != SessionState::kProtocol || session.outbound) return false;
       auto msg = decode_message(frame.payload);
       if (!msg) return false;  // corrupt payload: drop the connection
-      // Lemma 4.1 on the wire: invalid signatures never reach the handler.
-      if (validate_message(*msg, session.peer, verifier_, &sig_rejects_) == Admission::kReject) {
+      // Lemma 4.1 on the wire, split for batching: structural admission
+      // now, signature verdicts with the cycle's crypto batch.
+      const usize first = checks_.size();
+      if (collect_signature_checks(*msg, session.peer, checks_, &sig_rejects_) ==
+          Admission::kReject) {
         ++sig_rejects_;
         return true;  // reject the message, keep the session
       }
-      if (handler_) handler_(session.peer, *msg);
+      pending_msgs_.push_back(
+          PendingMessage{session.peer, std::move(*msg), first, checks_.size() - first});
       return true;
     }
     case FrameKind::kCtlReq: {
@@ -326,36 +364,93 @@ bool TcpTransport::handle_frame(Session& session, Frame& frame) {
   return false;
 }
 
-void TcpTransport::send_ctl_reply(u64 session_id, const CtlReply& reply) {
-  for (const auto& session : inbound_) {
-    if (session->id == session_id && session->state == SessionState::kCtl) {
-      std::vector<u8> frame;
-      append_frame(frame, FrameKind::kCtlRep, encode_ctl_reply(reply));
-      session->queue_frame(std::move(frame));
-      flush_session(*session);
-      return;
+void TcpTransport::verify_and_dispatch() {
+  if (pending_msgs_.empty()) {
+    checks_.clear();
+    return;
+  }
+  crypto::verify_batch(verifier_, checks_, verify_pool_);
+  // Deterministic dispatch: by author, stable — per-session FIFO (the one
+  // order TCP guarantees) is preserved, and the sequence no longer depends
+  // on which backend fired or in what order fds became ready.
+  std::stable_sort(pending_msgs_.begin(), pending_msgs_.end(),
+                   [](const PendingMessage& a, const PendingMessage& b) {
+                     return a.from.index < b.from.index;
+                   });
+  for (PendingMessage& pending : pending_msgs_) {
+    const std::span<const crypto::BatchCheck> verdicts{checks_.data() + pending.first,
+                                                       pending.count};
+    if (apply_verify_verdicts(pending.msg, verdicts, &sig_rejects_) == Admission::kReject) {
+      ++sig_rejects_;
+      continue;
     }
+    if (handler_) handler_(pending.from, pending.msg);
+  }
+  pending_msgs_.clear();
+  checks_.clear();
+}
+
+void TcpTransport::send_ctl_reply(u64 session_id, const CtlReply& reply) {
+  // Token lookup, not an inbound_ scan: with thousands of mostly-idle
+  // sessions a linear search here turns every ctl append into an
+  // O(sessions) walk and dominates the whole node's CPU.
+  const auto it = by_token_.find(session_id);
+  if (it == by_token_.end()) return;  // session gone: drop the reply
+  Session& session = *it->second;
+  if (session.state != SessionState::kCtl) return;
+  std::vector<u8> frame;
+  append_frame(frame, FrameKind::kCtlRep, encode_ctl_reply(reply));
+  session.queue_frame(TxClass::kCtl, std::move(frame));
+  flush_and_sync(session);
+}
+
+void TcpTransport::mark_dirty(Session& session) {
+  if (session.dirty || !session.wants_write()) return;
+  session.dirty = true;
+  dirty_.push_back(session.id);
+}
+
+void TcpTransport::sync_interest(Session& session) {
+  if (session.fd < 0 || session.state == SessionState::kClosed) return;
+  const u32 desired = EventLoop::kRead | (session.wants_write() ? EventLoop::kWrite : 0);
+  if (desired != session.interest) {
+    loop_->modify(session.fd, session.id, desired);
+    session.interest = desired;
   }
 }
 
-void TcpTransport::flush_session(Session& session) {
-  while (!session.tx.empty()) {
-    const std::vector<u8>& front = session.tx.front();
-    while (session.tx_off < front.size()) {
-      const ssize_t n = ::send(session.fd, front.data() + session.tx_off,
-                               front.size() - session.tx_off, MSG_NOSIGNAL);
-      if (n > 0) {
-        session.tx_off += static_cast<usize>(n);
-      } else {
-        if (n < 0 && errno == EINTR) continue;
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-        session.state = SessionState::kClosed;  // EPIPE/ECONNRESET etc.
-        return;
-      }
-    }
-    session.tx.pop_front();
-    session.tx_off = 0;
+void TcpTransport::update_paused(Session& session) {
+  if (!session.paused && session.tx_bytes > config_.outbound_high_watermark) {
+    session.paused = true;
+  } else if (session.paused && session.tx_bytes <= config_.outbound_low_watermark) {
+    session.paused = false;
   }
+}
+
+void TcpTransport::flush_and_sync(Session& session) {
+  if (session.fd < 0 || session.state == SessionState::kClosed) return;
+  const FlushResult result = flush_session_buffers(session, config_.max_write_iov);
+  writev_calls_ += result.syscalls;
+  if (result.fatal) {
+    close_session(session);
+    return;
+  }
+  update_paused(session);
+  sync_interest(session);
+}
+
+void TcpTransport::flush_dirty() {
+  // dirty_ can grow while flushing (a fatal flush downs a link whose
+  // salvage re-queues traffic); index loop, not iterators.
+  for (usize i = 0; i < dirty_.size(); ++i) {
+    const auto it = by_token_.find(dirty_[i]);
+    if (it == by_token_.end()) continue;  // closed since it was queued
+    Session& session = *it->second;
+    session.dirty = false;
+    if (session.outbound && links_[session.peer.index].connecting) continue;
+    flush_and_sync(session);
+  }
+  dirty_.clear();
 }
 
 void TcpTransport::deliver_local() {
@@ -368,10 +463,16 @@ void TcpTransport::deliver_local() {
 
 void TcpTransport::close_session(Session& session) {
   if (session.fd >= 0) {
+    // Unregister before close: a recycled fd number must not inherit this
+    // session's loop registration (events are token-keyed, but epoll's
+    // interest list is fd-keyed).
+    loop_->remove(session.fd);
     ::close(session.fd);
     session.fd = -1;
   }
+  by_token_.erase(session.id);
   session.state = SessionState::kClosed;
+  needs_reap_ = true;
 }
 
 void TcpTransport::poll_once(std::chrono::milliseconds max_wait) {
@@ -394,24 +495,9 @@ void TcpTransport::poll_once(std::chrono::milliseconds max_wait) {
     }
   }
 
-  // Assemble the poll set: listener, outbound links, inbound sessions.
-  std::vector<pollfd> fds;
-  std::vector<Session*> owners;
-  if (listen_fd_ >= 0) {
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    owners.push_back(nullptr);
-  }
-  for (Link& link : links_) {
-    if (!link.session) continue;
-    const bool out = link.connecting || link.session->wants_write();
-    fds.push_back(pollfd{link.session->fd, static_cast<short>(out ? POLLIN | POLLOUT : POLLIN), 0});
-    owners.push_back(link.session.get());
-  }
-  for (const auto& session : inbound_) {
-    const bool out = session->wants_write();
-    fds.push_back(pollfd{session->fd, static_cast<short>(out ? POLLIN | POLLOUT : POLLIN), 0});
-    owners.push_back(session.get());
-  }
+  // Traffic queued since the last cycle (protocol timers, ctl pumps)
+  // goes out before we sleep.
+  flush_dirty();
 
   // Cap the wait at the next reconnect deadline so backoff fires on time.
   i64 wait_ms = max_wait.count();
@@ -426,63 +512,64 @@ void TcpTransport::poll_once(std::chrono::milliseconds max_wait) {
   }
   if (!local_.empty()) wait_ms = 0;
 
-  const int ready = ::poll(fds.data(), fds.size(), static_cast<int>(wait_ms));
+  const int ready = loop_->wait(std::chrono::milliseconds(wait_ms), &events_);
   if (ready > 0) {
-    for (usize i = 0; i < fds.size(); ++i) {
-      if (fds[i].revents == 0) continue;
-      if (owners[i] == nullptr) {
+    for (const ReadyEvent& event : events_) {
+      if (event.token == kListenerToken) {
         accept_ready();
         continue;
       }
-      Session& session = *owners[i];
+      const auto it = by_token_.find(event.token);
+      if (it == by_token_.end()) continue;  // closed earlier this cycle
+      Session& session = *it->second;
       if (session.state == SessionState::kClosed) continue;
-      // Outbound connect completion: POLLOUT (or error bits) on a
+      // Outbound connect completion: writability (or an error event) on a
       // connecting link resolves the non-blocking connect.
       if (session.outbound && links_[session.peer.index].connecting) {
         Link& link = links_[session.peer.index];
         int err = 0;
         socklen_t len = sizeof(err);
         ::getsockopt(session.fd, SOL_SOCKET, SO_ERROR, &err, &len);
-        if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 || err != 0) {
+        if (event.error || err != 0) {
           on_link_down(link);
           continue;
         }
-        if ((fds[i].revents & POLLOUT) != 0) on_link_connected(link, session.peer.index);
+        if (event.writable) on_link_connected(link, session.peer.index);
         continue;
       }
-      if ((fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-          (fds[i].revents & POLLIN) == 0) {
-        session.state = SessionState::kClosed;
+      if (event.error && !event.readable) {
+        close_session(session);
         continue;
       }
-      if ((fds[i].revents & POLLIN) != 0 && !read_session(session)) {
-        session.state = SessionState::kClosed;
+      if (event.readable && !read_session(session)) {
+        close_session(session);
         continue;
       }
-      if ((fds[i].revents & POLLOUT) != 0) flush_session(session);
+      if (event.writable) flush_and_sync(session);
     }
   }
+
+  // One crypto batch for everything admitted this cycle, then dispatch.
+  verify_and_dispatch();
 
   // Handlers may have produced traffic — flush opportunistically so a
   // request/reply exchange completes in one poll round-trip per hop.
-  for (Link& link : links_) {
-    if (link.session && !link.connecting && link.session->state != SessionState::kClosed) {
-      flush_session(*link.session);
-    }
-  }
-  for (const auto& session : inbound_) {
-    if (session->state != SessionState::kClosed) flush_session(*session);
-  }
+  flush_dirty();
 
-  // Reap dead sessions; downed outbound links enter backoff.
-  for (Link& link : links_) {
-    if (link.session && link.session->state == SessionState::kClosed) on_link_down(link);
+  // Reap downed outbound links into backoff; drop dead inbound sessions.
+  // Gated on close_session() having actually run (the sole writer of
+  // kClosed): sweeping thousands of idle inbound sessions every cycle
+  // would reintroduce exactly the O(sessions)-per-cycle cost the event
+  // loop exists to avoid.
+  if (needs_reap_) {
+    needs_reap_ = false;
+    for (Link& link : links_) {
+      if (link.session && link.session->state == SessionState::kClosed) on_link_down(link);
+    }
+    std::erase_if(inbound_, [](const std::unique_ptr<Session>& session) {
+      return session->state == SessionState::kClosed;
+    });
   }
-  std::erase_if(inbound_, [this](const std::unique_ptr<Session>& session) {
-    if (session->state != SessionState::kClosed) return false;
-    if (session->fd >= 0) ::close(session->fd);
-    return true;
-  });
 
   deliver_local();
 }
@@ -498,6 +585,7 @@ void TcpTransport::run_for(std::chrono::milliseconds deadline) {
 
 void TcpTransport::stop() {
   if (listen_fd_ >= 0) {
+    loop_->remove(listen_fd_);
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
@@ -509,6 +597,7 @@ void TcpTransport::stop() {
   }
   for (const auto& session : inbound_) close_session(*session);
   inbound_.clear();
+  dirty_.clear();
 }
 
 }  // namespace amm::net

@@ -1,10 +1,38 @@
-// Poll-based TCP transport: mp::Transport over real sockets.
+// TCP transport: mp::Transport over real sockets, on an EventLoop reactor.
 //
 // Threading model: a single-threaded reactor. All socket I/O, reconnect
 // timers, protocol handler callbacks and control-plane callbacks run on
 // the thread that calls poll_once()/run_for(); send()/broadcast() must be
 // called from that same thread (protocol code only ever runs inside
 // handlers, so this falls out naturally). No locks, no cross-thread state.
+// The one optional excursion is batched signature verification: when a
+// verify pool is attached, cache-missed signatures fan out across it
+// between the wait and the dispatch — KeyRegistry::verify is const and
+// pure, and the pool is joined before any handler runs.
+//
+// Readiness: the reactor registers every fd with an EventLoop
+// (net/event_loop.hpp) — epoll on Linux, a persistent poll set elsewhere —
+// and pays O(ready) per cycle instead of rebuilding an O(sessions) pollfd
+// vector. Sessions are identified by token, not fd, so a session torn
+// down mid-dispatch cannot be confused with a newer one that recycled its
+// descriptor. Sessions with queued output are tracked on a dirty list and
+// flushed through bounded writev chains (peer.hpp) — one syscall per
+// batch of small frames — with POLLOUT interest maintained only while
+// bytes remain.
+//
+// Message dispatch is deterministic per author: frames admitted in one
+// drain cycle defer their signature checks into a single crypto batch,
+// then dispatch sorted by author id (stable, so per-session FIFO order —
+// the only order TCP guarantees — is preserved). The delivered message
+// sequence therefore does not depend on which readiness backend fired or
+// in what order fds became ready.
+//
+// Backpressure: each session carries a byte budget with high/low
+// watermarks. A peer that stops reading pushes the session over the high
+// watermark, after which new replication frames are refused (counted in
+// backpressure_drops()) until the queue drains below the low watermark.
+// Control-plane frames (hellos, ctl replies) are exempt and drain first,
+// so a slow replication reader can never starve an operator.
 //
 // Connection topology: every node listens on its configured endpoint and
 // dials one outbound connection to every other node. Outbound connections
@@ -31,10 +59,13 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "mp/transport.hpp"
+#include "net/event_loop.hpp"
 #include "net/peer.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace amm::net {
 
@@ -46,9 +77,16 @@ struct Endpoint {
 struct TransportConfig {
   NodeId self;
   std::vector<Endpoint> peers;  ///< indexed by node id; size = cluster n
+  LoopBackend backend = LoopBackend::kAuto;
   std::chrono::milliseconds backoff_base{50};
   std::chrono::milliseconds backoff_max{2000};
   usize max_pending_frames_per_peer = 8192;  ///< queued while a link is down
+  /// Per-session outbound byte budget. Above high, replication frames are
+  /// refused; below low, they resume (hysteresis so a session near the
+  /// boundary does not flap). Control frames are exempt.
+  usize outbound_high_watermark = 4u << 20;
+  usize outbound_low_watermark = 1u << 20;
+  usize max_write_iov = kMaxWriteIov;  ///< frames coalesced per writev
 };
 
 class TcpTransport final : public mp::Transport {
@@ -65,6 +103,9 @@ class TcpTransport final : public mp::Transport {
   /// The actually bound port (differs from the config with port 0).
   u16 listen_port() const { return listen_port_; }
 
+  /// The readiness backend actually in use ("epoll" / "poll").
+  const char* backend_name() const { return loop_ ? loop_->name() : "none"; }
+
   /// Lets tests wire ephemeral ports together after start().
   void set_peer_endpoint(NodeId id, Endpoint endpoint);
 
@@ -72,8 +113,9 @@ class TcpTransport final : public mp::Transport {
   void connect_peers();
 
   /// Runs one reactor iteration: waits up to `max_wait` for socket events
-  /// or the next reconnect deadline, then performs all due I/O, delivers
-  /// all decodable messages, and flushes writable sessions.
+  /// or the next reconnect deadline, then performs all due I/O, batch-
+  /// verifies and delivers all admitted messages, and flushes sessions
+  /// with queued output.
   void poll_once(std::chrono::milliseconds max_wait);
 
   /// Pumps the reactor until `deadline` elapses.
@@ -84,7 +126,16 @@ class TcpTransport final : public mp::Transport {
 
   /// Drops all outbound links (they will redial with backoff) — the
   /// forced-reconnect lever the cluster test pulls via `amm_ctl kick`.
+  /// Deferred to the top of the next poll_once so a kick arriving from a
+  /// ctl handler mid-dispatch cannot destroy sessions the cycle still
+  /// references.
   void kick_outbound();
+
+  /// Optional worker pool for the batched signature sweep. The pool must
+  /// outlive the transport (or be detached with nullptr first); it is
+  /// only used between wait and dispatch, never concurrently with
+  /// handlers.
+  void set_verify_pool(ThreadPool* pool) { verify_pool_ = pool; }
 
   // mp::Transport
   u32 node_count() const override { return static_cast<u32>(config_.peers.size()); }
@@ -105,11 +156,20 @@ class TcpTransport final : public mp::Transport {
   u64 auth_rejects() const { return auth_rejects_; }
   u64 sig_rejects() const { return sig_rejects_; }
   u64 frames_dropped() const { return frames_dropped_; }
+  u64 backpressure_drops() const { return backpressure_drops_; }
+  u64 writev_calls() const { return writev_calls_; }
   u64 verify_cache_hits() const { return verifier_.hits(); }
   u32 connected_outbound() const;
+  /// Unsent bytes currently buffered toward `peer` (0 if no live link).
+  usize outbound_queued_bytes(NodeId peer) const;
+  /// Whether the link to `peer` is over its watermark (tests only).
+  bool outbound_paused(NodeId peer) const;
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  /// The listener's loop token; session ids start at 1, so 0 is free.
+  static constexpr u64 kListenerToken = 0;
 
   /// One outbound link to a fixed peer, with its reconnect schedule and
   /// the frames queued while it is down.
@@ -122,17 +182,32 @@ class TcpTransport final : public mp::Transport {
     std::deque<std::vector<u8>> pending;  ///< encoded frames awaiting a link
   };
 
+  /// One admitted kMsg whose signature verdicts are still in the cycle
+  /// batch: checks_[first, first+count) belong to it.
+  struct PendingMessage {
+    NodeId from;
+    mp::WireMessage msg;
+    usize first = 0;
+    usize count = 0;
+  };
+
   void dial(u32 peer_index);
   void on_link_connected(Link& link, u32 peer_index);
   void on_link_down(Link& link);
   void queue_frame_to_peer(u32 peer_index, std::vector<u8> frame);
   void accept_ready();
+  void register_session(Session& session, u32 interest);
   bool read_session(Session& session);     ///< false = session died
   bool drain_frames(Session& session);     ///< false = corrupt, drop it
   bool handle_frame(Session& session, Frame& frame);
-  void flush_session(Session& session);    ///< best-effort write
+  void verify_and_dispatch();              ///< batch-verify, sort, deliver
+  void flush_and_sync(Session& session);   ///< writev drain + interest upkeep
+  void flush_dirty();
+  void mark_dirty(Session& session);
+  void sync_interest(Session& session);
+  void update_paused(Session& session);
   void deliver_local();
-  void close_session(Session& session);
+  void close_session(Session& session);    ///< loop remove + close, idempotent
   std::chrono::milliseconds backoff_delay(u32 attempts);
 
   TransportConfig config_;
@@ -141,15 +216,27 @@ class TcpTransport final : public mp::Transport {
   Rng rng_;
   Handler handler_;
   CtlHandler ctl_handler_;
+  ThreadPool* verify_pool_ = nullptr;
 
+  std::unique_ptr<EventLoop> loop_;
   int listen_fd_ = -1;
   u16 listen_port_ = 0;
   bool dialing_ = false;         ///< connect_peers() has been called
   bool kick_requested_ = false;  ///< deferred kick_outbound()
+  bool needs_reap_ = false;      ///< a session closed since the last reap sweep
   std::vector<Link> links_;                         ///< indexed by peer id
   std::vector<std::unique_ptr<Session>> inbound_;   ///< accepted sessions
+  /// Loop-token -> session, maintained by register/close. Lookup only —
+  /// iteration order never influences behavior.
+  std::unordered_map<u64, Session*> by_token_;
   std::deque<std::pair<NodeId, mp::WireMessage>> local_;  ///< self-deliveries
   u64 next_session_id_ = 1;
+
+  // Per-cycle scratch, cleared each poll_once (members to reuse capacity).
+  std::vector<ReadyEvent> events_;
+  std::vector<u64> dirty_;  ///< tokens of sessions with queued output
+  std::vector<crypto::BatchCheck> checks_;
+  std::vector<PendingMessage> pending_msgs_;
 
   u64 messages_sent_ = 0;
   u64 bytes_sent_ = 0;
@@ -157,6 +244,8 @@ class TcpTransport final : public mp::Transport {
   u64 auth_rejects_ = 0;
   u64 sig_rejects_ = 0;
   u64 frames_dropped_ = 0;
+  u64 backpressure_drops_ = 0;
+  u64 writev_calls_ = 0;
 };
 
 }  // namespace amm::net

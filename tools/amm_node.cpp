@@ -3,6 +3,8 @@
 // rule (§5.3, Algorithm 6) served over the control plane.
 //
 //   amm_node --id I --n N [--seed S] [--host 127.0.0.1] [--base-port 9500]
+//            [--backend auto|poll|epoll] [--verify-threads T]
+//            [--high-watermark BYTES] [--low-watermark BYTES]
 //
 // Node i listens on base-port+i and dials every other node. All nodes of a
 // cluster must share --n and --seed: the KeyRegistry is derived from them,
@@ -19,10 +21,13 @@
 #include <deque>
 #include <string>
 
+#include <memory>
+
 #include "mp/abd.hpp"
 #include "net/decision.hpp"
 #include "net/transport.hpp"
 #include "support/cli.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -41,6 +46,8 @@ int main(int argc, char** argv) {
   const u64 seed = static_cast<u64>(args.get_int("seed", 20200715));
   const std::string host = args.get_string("host", "127.0.0.1");
   const u16 base_port = static_cast<u16>(args.get_int("base-port", 9500));
+  const std::string backend = args.get_string("backend", "auto");
+  const u32 verify_threads = static_cast<u32>(args.get_int("verify-threads", 0));
   if (n == 0 || id >= n) {
     std::fprintf(stderr, "amm_node: need 0 <= --id < --n\n");
     return 2;
@@ -53,14 +60,24 @@ int main(int argc, char** argv) {
   crypto::KeyRegistry keys(n, seed);
   net::TransportConfig config;
   config.self = NodeId{id};
+  config.backend = net::parse_loop_backend(backend);
   for (u32 i = 0; i < n; ++i) {
     config.peers.push_back(net::Endpoint{host, static_cast<u16>(base_port + i)});
   }
+  config.outbound_high_watermark = static_cast<usize>(
+      args.get_int("high-watermark", static_cast<i64>(config.outbound_high_watermark)));
+  config.outbound_low_watermark = static_cast<usize>(
+      args.get_int("low-watermark", static_cast<i64>(config.outbound_low_watermark)));
   net::TcpTransport transport(config, keys, Rng::for_stream(seed, 0x6e6f6465 + id));
   if (!transport.start()) {
     std::fprintf(stderr, "amm_node: cannot listen on %s:%u\n", host.c_str(),
                  static_cast<unsigned>(base_port + id));
     return 2;
+  }
+  std::unique_ptr<ThreadPool> verify_pool;
+  if (verify_threads > 0) {
+    verify_pool = std::make_unique<ThreadPool>(verify_threads);
+    transport.set_verify_pool(verify_pool.get());
   }
 
   mp::AbdNode node(NodeId{id}, transport, keys);
@@ -145,7 +162,8 @@ int main(int argc, char** argv) {
     }
   };
 
-  std::printf("amm_node: id=%u n=%u listening on %s:%u\n", id, n, host.c_str(),
+  std::printf("amm_node: id=%u n=%u backend=%s listening on %s:%u\n", id, n,
+              transport.backend_name(), host.c_str(),
               static_cast<unsigned>(transport.listen_port()));
   std::fflush(stdout);
 

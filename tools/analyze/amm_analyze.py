@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """amm_analyze — AST-level protocol-safety analyzer for this repository.
 
-Four checks, one module each (tools/analyze/checks/), documented rule by
+Five checks, one module each (tools/analyze/checks/), documented rule by
 rule in docs/ANALYSIS.md §5:
 
   codec_bounds  codec-bounds, codec-consistency
   exhaustive    switch-exhaustive, switch-default
   determinism   determinism-taint
   lockorder     lock-cycle, lock-blocking
+  loopblock     loop-blocking
 
 Engines: the *internal* engine (a pure-Python C++ tokenizer + structural
 extractors, cpp_model.py) always works and is what CI gates on; when
@@ -64,6 +65,8 @@ SELF_TEST_EXPECT: Dict[str, Set[str]] = {
     "clean_taint.cpp": set(),
     "bad_lock.cpp": {"lock-cycle", "lock-blocking"},
     "clean_lock.cpp": set(),
+    "bad_loop.cpp": {"loop-blocking"},
+    "clean_loop.cpp": set(),
 }
 
 

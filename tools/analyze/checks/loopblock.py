@@ -1,0 +1,155 @@
+"""loop-blocking — no blocking syscall on the reactor's event-loop path.
+
+The TCP transport (src/net) is a single-threaded reactor: one thread runs
+poll_once(), and every session's I/O, every protocol handler, and every
+reconnect timer shares it. A single blocking syscall anywhere on that path
+stalls *every* connection — the high-fanout numbers (tools/amm_swarm)
+collapse and, worse, a peer that stops reading can wedge the whole node,
+which the append-memory liveness argument (§4: correct nodes keep making
+progress) does not admit.
+
+Readiness does not make a syscall safe: level-triggered readiness says the
+fd *was* ready, but a racing consumer (or a full send buffer after a
+partial write) can still block a plain ::send/::recv. The repo's
+convention is therefore MSG_DONTWAIT on every data-plane syscall the loop
+can reach, with EAGAIN handled as "resume on the next event".
+
+The check:
+
+  * Entry points — functions named ``poll_once`` / ``run_for`` /
+    ``run_once`` (the reactor's pump methods), plus any function that
+    drives an EventLoop directly: its body mentions ``ReadyEvent`` and
+    calls ``wait(`` (tools/amm_swarm's rung driver has this shape).
+  * Reachability — a name-level transitive closure over direct calls, so
+    helpers like ``read_session()`` / ``flush_session_buffers()`` are
+    covered wherever they live.
+  * Rule — inside a reachable function, ``::send``/``::sendto``/
+    ``::sendmsg``/``::recv``/``::recvfrom``/``::recvmsg`` must pass
+    ``MSG_DONTWAIT``; ``::read``/``::write`` are flagged unconditionally
+    (they have no per-call nonblocking flag, so the loop cannot locally
+    prove they return).
+
+Intentionally blocking client code (amm_ctl's request/reply helpers) is
+not reachable from any entry point and is untouched. The loop's own timed
+wait primitives (::poll, ::epoll_wait) are the sanctioned blocking point
+and are not in the flagged set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from analysis import AnalysisModel, Finding
+from cpp_model import Function, SourceFile, match_forward
+
+NAME = "loopblock"
+RULES = {
+    "loop-blocking": "no blocking syscall inside a function reachable from the "
+                     "event loop; data-plane send/recv must pass MSG_DONTWAIT",
+}
+
+ENTRY_NAMES = {"poll_once", "run_for", "run_once"}
+#: Keywords that may precede a statement-position `::name(` — they do not
+#: make the `::` a scope qualifier the way `std::` would.
+NON_QUALIFIER_KEYWORDS = {"return", "co_return", "co_yield", "else", "do", "case"}
+#: msg-flag syscalls: safe iff the call site passes MSG_DONTWAIT.
+MSG_SYSCALLS = {"send", "sendto", "sendmsg", "recv", "recvfrom", "recvmsg"}
+#: no per-call nonblocking flag exists: always a blocking hazard on a socket.
+ALWAYS_SYSCALLS = {"read", "write"}
+
+
+def _is_entry(sf: SourceFile, fn: Function) -> bool:
+    if fn.name in ENTRY_NAMES:
+        return True
+    toks = sf.tokens
+    mentions_ready = False
+    calls_wait = False
+    for j in range(fn.body[0] + 1, fn.body[1]):
+        t = toks[j]
+        if t.kind != "id":
+            continue
+        if t.value == "ReadyEvent":
+            mentions_ready = True
+        elif t.value == "wait" and j + 1 < fn.body[1] and toks[j + 1].value == "(":
+            calls_wait = True
+        if mentions_ready and calls_wait:
+            return True
+    return False
+
+
+def _direct_callees(model: AnalysisModel, sf: SourceFile, fn: Function) -> Set[str]:
+    callees: Set[str] = set()
+    toks = sf.tokens
+    for j in range(fn.body[0] + 1, fn.body[1]):
+        t = toks[j]
+        if t.kind == "id" and t.value != fn.name and t.value in model.functions \
+                and j + 1 < fn.body[1] and toks[j + 1].value == "(":
+            callees.add(t.value)
+    return callees
+
+
+def _reachable_names(model: AnalysisModel) -> Set[str]:
+    calls: Dict[str, Set[str]] = {}
+    entries: Set[str] = set()
+    for sf in model.files:
+        for fn in sf.functions:
+            calls.setdefault(fn.name, set()).update(_direct_callees(model, sf, fn))
+            if _is_entry(sf, fn):
+                entries.add(fn.name)
+    reachable = set(entries)
+    frontier = list(entries)
+    while frontier:
+        name = frontier.pop()
+        for callee in calls.get(name, ()):
+            if callee not in reachable:
+                reachable.add(callee)
+                frontier.append(callee)
+    return reachable
+
+
+def _scan_function(sf: SourceFile, fn: Function, findings: List[Finding]) -> None:
+    toks = sf.tokens
+    for j in range(fn.body[0] + 1, fn.body[1] - 2):
+        # The repo writes raw syscalls as ::name( — anything else (method
+        # calls, std:: wrappers) is not a raw syscall. An identifier before
+        # the :: makes it a scope qualifier, unless it is a statement
+        # keyword like `return ::recv(...)`.
+        if toks[j].value != "::":
+            continue
+        if j > 0 and toks[j - 1].kind == "id" \
+                and toks[j - 1].value not in NON_QUALIFIER_KEYWORDS:
+            continue
+        name = toks[j + 1].value
+        if toks[j + 1].kind != "id" or toks[j + 2].value != "(":
+            continue
+        line = toks[j + 1].line
+        if name in MSG_SYSCALLS:
+            end = match_forward(toks, j + 2, "(", ")")
+            if any(toks[k].value == "MSG_DONTWAIT" for k in range(j + 3, end)):
+                continue
+            what = (f"::{name}() without MSG_DONTWAIT on the event-loop path in "
+                    f"{fn.key()}() — readiness is level-triggered advice, not a "
+                    "guarantee; a racing peer or full buffer blocks the reactor "
+                    "and every session with it. Pass MSG_DONTWAIT and treat "
+                    "EAGAIN as \"resume on the next event\"")
+        elif name in ALWAYS_SYSCALLS:
+            what = (f"::{name}() on the event-loop path in {fn.key()}() — it has "
+                    "no per-call nonblocking flag, so the reactor cannot prove it "
+                    "returns; use ::recv/::send with MSG_DONTWAIT on a "
+                    "nonblocking fd")
+        else:
+            continue
+        if not sf.allowed(line, "loop-blocking"):
+            findings.append(Finding(
+                sf.display, line, "loop-blocking",
+                what + ", or // analyze:allow(loop-blocking): <why it cannot block>"))
+
+
+def run(model: AnalysisModel) -> List[Finding]:
+    reachable = _reachable_names(model)
+    findings: List[Finding] = []
+    for sf in model.files:
+        for fn in sf.functions:
+            if fn.name in reachable:
+                _scan_function(sf, fn, findings)
+    return findings

@@ -1,0 +1,33 @@
+// Seeded violations for the loop-blocking rule: blocking syscalls inside
+// functions reachable from a reactor entry point. Expected findings:
+//   * ::recv without MSG_DONTWAIT in drain_socket() (reached via poll_once)
+//   * ::write in log_progress() (no per-call nonblocking flag)
+//   * ::send without MSG_DONTWAIT in pump() (an EventLoop-driving function:
+//     declares ReadyEvent storage and calls wait())
+#include <cstddef>
+
+struct ReadyEvent {
+  unsigned long token = 0;
+};
+
+struct Loop {
+  int wait(int timeout_ms, ReadyEvent* out);
+};
+
+long drain_socket(int fd, char* buf, std::size_t len) {
+  return ::recv(fd, buf, len, 0);  // blocking: readiness is not a guarantee
+}
+
+void log_progress(int fd) {
+  ::write(fd, "tick\n", 5);  // ::write cannot be made nonblocking per call
+}
+
+void poll_once(int fd, char* buf) {
+  if (drain_socket(fd, buf, 64) > 0) log_progress(fd);
+}
+
+int pump(Loop& loop, int fd, const char* msg, std::size_t len) {
+  ReadyEvent event;
+  if (loop.wait(10, &event) <= 0) return 0;
+  return static_cast<int>(::send(fd, msg, len, 0));  // blocking send in a loop driver
+}

@@ -1,0 +1,37 @@
+// Clean twin of bad_loop.cpp: the same reactor shape with every data-plane
+// syscall nonblocking, plus a deliberately *blocking* client helper that is
+// not reachable from any loop entry point (the rule must not flag code off
+// the reactor path — amm_ctl's request/reply helpers are exactly this).
+#include <cstddef>
+
+#ifndef MSG_DONTWAIT
+#define MSG_DONTWAIT 0x40
+#endif
+
+struct ReadyEvent {
+  unsigned long token = 0;
+};
+
+struct Loop {
+  int wait(int timeout_ms, ReadyEvent* out);
+};
+
+long drain_socket(int fd, char* buf, std::size_t len) {
+  return ::recv(fd, buf, len, MSG_DONTWAIT);  // nonblocking: EAGAIN = resume later
+}
+
+void poll_once(int fd, char* buf) {
+  drain_socket(fd, buf, 64);
+}
+
+int pump(Loop& loop, int fd, const char* msg, std::size_t len) {
+  ReadyEvent event;
+  if (loop.wait(10, &event) <= 0) return 0;
+  return static_cast<int>(::send(fd, msg, len, MSG_DONTWAIT));
+}
+
+// A blocking operator-CLI helper: never called from the loop, so plain
+// blocking ::recv is fine here.
+long client_fetch_reply(int fd, char* buf, std::size_t len) {
+  return ::recv(fd, buf, len, 0);
+}

@@ -8,6 +8,8 @@ documents and reports per-metric ratios. A metric is:
     ("[ms]", "[s]", "[us]", "[B]" for wire bytes), keyed by (binary, table
     caption, row label, column) — row label = the leading non-metric cells
     (n, history, ...);
+  * a cell in a rate column (header contains "/sec", e.g. amm_swarm's
+    appends/sec) — higher is better, so the regression test inverts;
   * a google-benchmark entry's real_time, keyed by (binary, benchmark name).
 
 Byte columns make wire-volume regressions (a delta read quietly shipping
@@ -32,6 +34,8 @@ import sys
 from pathlib import Path
 
 METRIC_UNIT = re.compile(r"\[(ms|us|s|B)\]")
+# Throughput columns: metrics where HIGHER is better (ratio test inverts).
+RATE_UNIT = re.compile(r"/sec\b")
 # Derived ratio columns are neither labels nor metrics.
 DERIVED_COLS = ("speedup", "growth", "reduction")
 
@@ -45,9 +49,13 @@ def parse_number(cell: str) -> float | None:
         return None
 
 
-def extract_metrics(doc: dict) -> Metrics:
-    """Flattens a collect_bench.py document into {metric key: seconds-ish}."""
+def extract_metrics(doc: dict) -> tuple[Metrics, set[str]]:
+    """Flattens a collect_bench.py document into {metric key: value}.
+
+    Returns (metrics, rate_keys): keys in rate_keys are throughput
+    metrics where a *drop* is the regression."""
     metrics: Metrics = {}
+    rate_keys: set[str] = set()
     for name, sub in sorted(doc.get("experiments", {}).items()):
         # google-benchmark micro document.
         for bench in sub.get("benchmarks", []):
@@ -60,25 +68,32 @@ def extract_metrics(doc: dict) -> Metrics:
             inner = table.get("table", {})
             headers = inner.get("headers", [])
             metric_cols = [i for i, hdr in enumerate(headers) if METRIC_UNIT.search(hdr)]
-            if not metric_cols:
+            rate_cols = [i for i, hdr in enumerate(headers)
+                         if i not in metric_cols and RATE_UNIT.search(hdr)]
+            if not metric_cols and not rate_cols:
                 continue
-            label_cols = [i for i in range(len(headers)) if i not in metric_cols]
+            value_cols = metric_cols + rate_cols
+            label_cols = [i for i in range(len(headers)) if i not in value_cols]
             for row in inner.get("rows", []):
                 label = ",".join(f"{headers[i]}={row[i]}" for i in label_cols
-                                 if i < len(row) and not METRIC_UNIT.search(headers[i])
-                                 and headers[i] not in DERIVED_COLS)
-                for i in metric_cols:
+                                 if i < len(row) and headers[i] not in DERIVED_COLS)
+                for i in value_cols:
                     if i >= len(row):
                         continue
                     value = parse_number(row[i])
                     if value is None or value <= 0.0:
                         continue
-                    metrics[f"{name} :: {caption} :: {label} :: {headers[i]}"] = value
-    return metrics
+                    key = f"{name} :: {caption} :: {label} :: {headers[i]}"
+                    metrics[key] = value
+                    if i in rate_cols:
+                        rate_keys.add(key)
+    return metrics, rate_keys
 
 
-def compare(baseline: Metrics, current: Metrics, threshold: float) -> tuple[list[str], int]:
+def compare(baseline: Metrics, current: Metrics, threshold: float,
+            rate_keys: set[str] | None = None) -> tuple[list[str], int]:
     """Returns (report lines, regression count)."""
+    rate_keys = rate_keys or set()
     lines = []
     lines.append(f"| metric | baseline | current | ratio | status |")
     lines.append(f"|---|---|---|---|---|")
@@ -86,10 +101,13 @@ def compare(baseline: Metrics, current: Metrics, threshold: float) -> tuple[list
     for key in sorted(set(baseline) & set(current)):
         base, cur = baseline[key], current[key]
         ratio = cur / base
-        if ratio > threshold:
+        # Rate metrics (appends/sec): a drop is the regression.
+        worse = ratio < 1.0 / threshold if key in rate_keys else ratio > threshold
+        better = ratio > threshold if key in rate_keys else ratio < 1.0 / threshold
+        if worse:
             status = "REGRESSION"
             regressions += 1
-        elif ratio < 1.0 / threshold:
+        elif better:
             status = "improved"
         else:
             status = "ok"
@@ -135,21 +153,38 @@ def self_test() -> None:
                         },
                     }],
                 },
+                # A throughput table: /sec is a higher-is-better metric,
+                # not part of the row label.
+                "amm_swarm": {
+                    "tables": [{
+                        "caption": "ladder",
+                        "table": {
+                            "headers": ["writers", "appends/sec", "label"],
+                            "rows": [["8", f"{1000.0 / ms}", "epoll"]],
+                        },
+                    }],
+                },
             },
         }
 
-    base = extract_metrics(doc(1.0))
-    assert len(base) == 3, f"expected 3 metrics, got {base}"
+    base, base_rates = extract_metrics(doc(1.0))
+    assert len(base) == 4, f"expected 4 metrics, got {base}"
     assert "bench_hotpath :: growth :: n=8,history=1000 :: extend [ms]" in base, base
     assert "exp_e10_abd :: steady state :: n=4,history=10000 :: delta read [B]" in base, base
+    rate_key = "amm_swarm :: ladder :: writers=8,label=epoll :: appends/sec"
+    assert base_rates == {rate_key}, base_rates
 
-    _, same = compare(base, extract_metrics(doc(1.0)), threshold=1.5)
+    _, same = compare(base, extract_metrics(doc(1.0))[0], threshold=1.5, rate_keys=base_rates)
     assert same == 0, "identical runs must not report regressions"
 
-    _, slower = compare(base, extract_metrics(doc(10.0)), threshold=1.5)
-    assert slower == 3, f"injected 10x slowdown must regress all 3 metrics, got {slower}"
+    # ms-metrics 10x slower AND the rate 10x lower: all four must fire.
+    _, slower = compare(base, extract_metrics(doc(10.0))[0], threshold=1.5,
+                        rate_keys=base_rates)
+    assert slower == 4, f"injected 10x slowdown must regress all 4 metrics, got {slower}"
 
-    _, faster = compare(base, extract_metrics(doc(0.1)), threshold=1.5)
+    # 10x faster everywhere: the rate *rises* 10x — still zero regressions.
+    _, faster = compare(base, extract_metrics(doc(0.1))[0], threshold=1.5,
+                        rate_keys=base_rates)
     assert faster == 0, "a speedup is not a regression"
 
     # End-to-end: the CLI contract is "nonzero exit on regression".
@@ -197,8 +232,10 @@ def main() -> None:
         bt = doc.get("build_type", "unknown")
         print(f"[bench_diff] {path}: sha={sha} build={bt}")
 
-    lines, regressions = compare(extract_metrics(base_doc), extract_metrics(cur_doc),
-                                 args.threshold)
+    base_metrics, base_rates = extract_metrics(base_doc)
+    cur_metrics, cur_rates = extract_metrics(cur_doc)
+    lines, regressions = compare(base_metrics, cur_metrics, args.threshold,
+                                 rate_keys=base_rates | cur_rates)
     print("\n".join(lines))
     if regressions:
         print(f"[bench_diff] {regressions} metric(s) regressed beyond "

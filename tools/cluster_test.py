@@ -66,11 +66,13 @@ def read_line(proc: subprocess.Popen, deadline: float) -> str:
 
 
 class Cluster:
-    def __init__(self, bin_dir: Path, n: int, seed: int):
+    def __init__(self, bin_dir: Path, n: int, seed: int,
+                 node_args: tuple[str, ...] = ()):
         self.node_bin = bin_dir / "amm_node"
         self.ctl_bin = bin_dir / "amm_ctl"
         self.n = n
         self.seed = seed
+        self.node_args = list(node_args)
         self.base_port = 0
         self.procs: list[subprocess.Popen | None] = []
 
@@ -86,7 +88,8 @@ class Cluster:
         self.procs = []
         for i in range(self.n):
             cmd = [str(self.node_bin), "--id", str(i), "--n", str(self.n),
-                   "--seed", str(self.seed), "--base-port", str(self.base_port)]
+                   "--seed", str(self.seed), "--base-port", str(self.base_port),
+                   *self.node_args]
             self.procs.append(subprocess.Popen(cmd, stdout=subprocess.PIPE,
                                                stderr=subprocess.STDOUT))
         deadline = time.monotonic() + 10
@@ -129,7 +132,8 @@ class Cluster:
         seed, port) and a blank view — the reconnect + full-sync-once case."""
         assert self.procs[node] is None
         cmd = [str(self.node_bin), "--id", str(node), "--n", str(self.n),
-               "--seed", str(self.seed), "--base-port", str(self.base_port)]
+               "--seed", str(self.seed), "--base-port", str(self.base_port),
+               *self.node_args]
         proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
         line = read_line(proc, time.monotonic() + 10)
         if "listening on" not in line:

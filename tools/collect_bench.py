@@ -64,7 +64,8 @@ def build_type(build_dir: Path) -> str:
 
 
 def run_binaries(build_dir: Path, trials: int, only: str | None,
-                 hotpath_args: list[str], micro_min_time: float) -> dict[str, dict]:
+                 hotpath_args: list[str], micro_min_time: float,
+                 allow_empty: bool = False) -> dict[str, dict]:
     bench_dir = build_dir / "bench"
     binaries = sorted(
         p for p in bench_dir.glob("*")
@@ -73,6 +74,10 @@ def run_binaries(build_dir: Path, trials: int, only: str | None,
     if only:
         binaries = [p for p in binaries if re.search(only, p.name)]
     if not binaries:
+        # A document built purely from --extra files (e.g. CI folding a
+        # swarm_smoke run for bench_diff) runs no binaries at all.
+        if allow_empty:
+            return {}
         sys.exit(f"error: no exp_*/bench_* binaries under {bench_dir} (build the repo first)")
 
     docs: dict[str, dict] = {}
@@ -127,7 +132,8 @@ def main() -> None:
         docs = load_from_dir(args.from_dir)
     else:
         docs = run_binaries(args.build_dir, args.trials, args.only,
-                            args.hotpath_args.split(), args.micro_min_time)
+                            args.hotpath_args.split(), args.micro_min_time,
+                            allow_empty=bool(args.extra))
     for spec in args.extra:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
