@@ -10,12 +10,15 @@
 //   --rounds R        observation rounds per trial    (default 64)
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <vector>
 
 #include "am/memory.hpp"
 #include "am/order.hpp"
 #include "chain/rules.hpp"
 #include "exp/harness.hpp"
+#include "mp/abd.hpp"
+#include "mp/network.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -195,5 +198,44 @@ int main(int argc, char** argv) {
     }
   }
   h.emit(rules, "Decision rules on the final graph (dense per-author indexing):");
+
+  // --- Decided-prefix compaction: resident record state vs history ------
+  // mp layer over the simulated network (DESIGN.md §8). The unbounded node
+  // pays one record body per appended record forever; a summary-mode node
+  // folds the stable prefix into its checkpoint, so live record state is
+  // the suffix behind the quantized cut — near-flat at any history. The
+  // byte column is live records x the in-memory record size, so the
+  // bytes/record-of-history curve falls as 1/history with compaction on.
+  Table compact_mem({"mode", "n", "history", "live [records]", "resident [B]"});
+  for (const bool summary : {false, true}) {
+    for (const u32 history : histories) {
+      const u32 cluster_n = 4;
+      mp::Network net(cluster_n, 0.01, 0.1, Rng::for_stream(h.seed, summary ? 0xc1 : 0xc0));
+      const crypto::KeyRegistry keys(cluster_n, h.seed);
+      mp::AbdConfig cfg;
+      cfg.compact.enabled = summary;
+      cfg.compact.retain_records = false;
+      cfg.compact.lag = 64;
+      std::vector<std::unique_ptr<mp::AbdNode>> nodes;
+      nodes.reserve(cluster_n);
+      for (u32 i = 0; i < cluster_n; ++i) {
+        nodes.push_back(std::make_unique<mp::AbdNode>(NodeId{i}, net, keys, cfg));
+      }
+      for (u32 k = 0; k < history; ++k) {
+        nodes[k % cluster_n]->begin_append((k % 2) != 0 ? 1 : -1, [] {});
+        // Drain in batches so the pipeline window, not the backlog, bounds
+        // in-flight appends.
+        if ((k & 31u) == 31u) net.queue().run();
+      }
+      net.queue().run();
+      const usize live = nodes[0]->live_records();
+      compact_mem.add_row({summary ? "summary" : "off", std::to_string(cluster_n),
+                           std::to_string(history), std::to_string(live),
+                           std::to_string(live * sizeof(mp::SignedAppend))});
+    }
+  }
+  h.emit(compact_mem,
+         "Decided-prefix compaction: live record state vs total history "
+         "(summary mode folds the stable prefix into the checkpoint):");
   return 0;
 }

@@ -136,6 +136,7 @@ class Graph {
   /// between the two occurrences form a fair cycle of bivalent
   /// configurations, i.e. an explicit never-deciding execution.
   bool extract_witness(std::vector<u32>& prefix, std::vector<u32>& cycle) const {
+    // analyze:allow(codec-bounds): indices are explorer config ids, bounded by construction — not wire input
     if (valency_.empty() || valency_[0] != 3) return false;
     std::unordered_map<u64, usize> seen;  // (config, rr phase) -> step count
     std::vector<u32> steps;
@@ -160,12 +161,14 @@ class Graph {
       std::vector<u32> parent_step(configs_.size(), 0);
       std::vector<u8> visited(configs_.size(), 0);
       std::deque<u32> queue{cur};
+      // analyze:allow(codec-bounds): indices are explorer config ids, bounded by construction — not wire input
       visited[cur] = 1;
       i64 found = -1;
       while (!queue.empty() && found < 0) {
         const u32 d = queue.front();
         queue.pop_front();
         const u32 after_v = succ_[d][v];
+        // analyze:allow(codec-bounds): indices are explorer config ids, bounded by construction — not wire input
         if (after_v != kNoStep && valency_[after_v] == 3) {
           found = d;
           break;
@@ -173,7 +176,9 @@ class Graph {
         for (u32 u = 0; u < n_; ++u) {
           if (u == v) continue;
           const u32 s = succ_[d][u];
+          // analyze:allow(codec-bounds): indices are explorer config ids, bounded by construction — not wire input
           if (s != kNoStep && !visited[s]) {
+            // analyze:allow(codec-bounds): indices are explorer config ids, bounded by construction — not wire input
             visited[s] = 1;
             parent_cfg[s] = d;
             parent_step[s] = u;

@@ -11,6 +11,7 @@
 
 #include <span>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "crypto/siphash.hpp"
@@ -105,9 +106,21 @@ class DigestBuilder {
 /// are re-checked (and re-rejected) on every path. With the simulated
 /// signatures the saving is one siphash per delivery; with a real scheme
 /// (Ed25519) it would be the difference between ~50 µs and a set lookup.
+///
+/// Bounded: entries live in two generations (hot, cold). Admissions go to
+/// hot; a cold hit promotes back to hot. When hot exceeds capacity/2 the
+/// cold generation is dropped and hot becomes cold — a segmented LRU whose
+/// working set survives every rotation while entries untouched for two
+/// rotations fall out. Total footprint stays <= ~capacity keys. The owning
+/// protocol node additionally calls rotate() when it compacts its decided
+/// prefix: records folded into a checkpoint are never re-verified, so
+/// their verdicts are the first to age out (checkpoint-aware eviction).
 class VerifyCache {
  public:
-  explicit VerifyCache(const KeyRegistry& registry) : registry_(&registry) {}
+  /// `capacity` bounds hot+cold key count; 0 means unbounded (no rotation
+  /// except explicit rotate() calls).
+  explicit VerifyCache(const KeyRegistry& registry, usize capacity = kDefaultCapacity)
+      : registry_(&registry), capacity_(capacity) {}
 
   /// Same contract as KeyRegistry::verify, plus memoization of successes.
   bool verify(u64 digest, const Signature& sig) {
@@ -122,15 +135,34 @@ class VerifyCache {
   /// registry — the pre-pass of crypto::verify_batch, which defers the
   /// registry work for all misses into one (optionally parallel) sweep.
   bool lookup(u64 digest, const Signature& sig) {
-    if (!verified_.contains(cache_key(digest, sig))) return false;
-    ++hits_;
-    return true;
+    const u64 key = cache_key(digest, sig);
+    if (hot_.contains(key)) {
+      ++hits_;
+      return true;
+    }
+    if (cold_.erase(key) > 0) {
+      insert_hot(key);  // promotion: recently useful entries survive rotation
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    return false;
   }
 
   /// Records a successful registry verification (verify_batch's post-pass;
   /// callers must have actually verified — admitting a forgery would cache
   /// it). Not thread-safe: call from the owning thread only.
-  void admit(u64 digest, const Signature& sig) { verified_.insert(cache_key(digest, sig)); }
+  void admit(u64 digest, const Signature& sig) { insert_hot(cache_key(digest, sig)); }
+
+  /// Ages both generations one step: cold is dropped (counted as
+  /// evictions), hot becomes cold. Called by the owner after compacting
+  /// its decided prefix — folded records never re-verify, so their cached
+  /// verdicts are dead weight.
+  void rotate() {
+    evictions_ += cold_.size();
+    cold_ = std::move(hot_);
+    hot_.clear();
+  }
 
   /// The registry behind the cache. KeyRegistry::verify is const and pure
   /// (siphash over immutable keys), so batch verification may call it from
@@ -138,7 +170,12 @@ class VerifyCache {
   const KeyRegistry& registry() const { return *registry_; }
 
   u64 hits() const { return hits_; }
-  usize size() const { return verified_.size(); }
+  u64 misses() const { return misses_; }
+  u64 evictions() const { return evictions_; }
+  usize capacity() const { return capacity_; }
+  usize size() const { return hot_.size() + cold_.size(); }
+
+  static constexpr usize kDefaultCapacity = 1u << 16;
 
  private:
   static u64 cache_key(u64 digest, const Signature& sig) {
@@ -149,9 +186,18 @@ class VerifyCache {
         .finish();
   }
 
+  void insert_hot(u64 key) {
+    hot_.insert(key);
+    if (capacity_ != 0 && hot_.size() > capacity_ / 2) rotate();
+  }
+
   const KeyRegistry* registry_;
-  std::unordered_set<u64> verified_;
+  usize capacity_;
+  std::unordered_set<u64> hot_;
+  std::unordered_set<u64> cold_;
   u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 evictions_ = 0;
 };
 
 }  // namespace amm::crypto

@@ -8,13 +8,55 @@ AbdNode::AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys, Abd
     : id_(id),
       net_(&net),
       keys_(&keys),
-      verifier_(keys),
+      verifier_(keys, config.verify_cache_cap),
       config_(config),
+      builder_(keys.node_count()),
       quorum_(net.node_count() / 2 + 1),
       watermark_(keys.node_count(), 0),
       parked_(keys.node_count()) {
   AMM_EXPECTS(config_.max_pipeline >= 1);
+  AMM_EXPECTS(config_.compact.quantum >= 1);
+  // The empty checkpoint is served to kCheckpointReq like any other, so it
+  // carries a valid signature from birth.
+  checkpoint_.sig = keys_->sign(id_, checkpoint_.digest());
   net_->attach(id_, [this](NodeId from, const WireMessage& msg) { handle(from, msg); });
+}
+
+u32 AbdNode::stability_cut() const {
+  return watermark_.empty() ? 0 : *std::min_element(watermark_.begin(), watermark_.end());
+}
+
+u32 AbdNode::auto_cut() const {
+  const u32 stable = stability_cut();
+  const u32 lagged = stable > config_.compact.lag ? stable - config_.compact.lag : 0;
+  // Quantized so nodes with agreeing watermarks fold to byte-identical
+  // checkpoints (checkpoint sync compares them structurally).
+  return lagged - lagged % config_.compact.quantum;
+}
+
+void AbdNode::compact_below(u32 s_cut) {
+  s_cut = std::min(s_cut, stability_cut());
+  if (s_cut <= checkpoint_.folded_below) return;
+  stats_.records_folded += builder_.extend(checkpoint_, view_, s_cut);
+  checkpoint_.sig = keys_->sign(id_, checkpoint_.digest());
+  ++stats_.compactions;
+  if (!config_.compact.retain_records) {
+    // Summary mode: the folded bodies are summarized by the checkpoint;
+    // drop them. erase_if keeps the suffix in arrival order.
+    std::erase_if(view_, [s_cut](const SignedAppend& r) { return r.seq < s_cut; });
+  }
+  // parked_ only ever holds seqs above the watermark (>= the cut), so
+  // there is nothing to prune there; the verify cache ages a generation —
+  // folded records are never re-verified, so their verdicts die first.
+  verifier_.rotate();
+}
+
+void AbdNode::maybe_auto_compact() {
+  if (!config_.compact.enabled || config_.compact.auto_interval == 0) return;
+  if (++admits_since_compact_ < config_.compact.auto_interval) return;
+  admits_since_compact_ = 0;
+  const u32 cut = auto_cut();
+  if (cut > checkpoint_.folded_below) compact_below(cut);
 }
 
 void AbdNode::begin_append(i64 value, std::function<void()> done) {
@@ -64,21 +106,34 @@ void AbdNode::begin_read(std::function<void(const std::vector<SignedAppend>&)> d
 }
 
 void AbdNode::admit(const SignedAppend& rec) {
-  const u64 d = rec.digest();
-  if (known_.contains(d)) return;
-  known_.insert(d);
-  view_.push_back(rec);
-  // Advance the contiguous-prefix watermark; out-of-order seqs (gathered by
-  // a read merge before the author's own broadcast arrived) park until the
-  // prefix catches up.
   const u32 a = rec.author.index;
-  if (a >= watermark_.size()) return;  // unverifiable author: never admitted, but be safe
-  if (rec.seq == watermark_[a]) {
-    ++watermark_[a];
-    while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
-  } else if (rec.seq > watermark_[a]) {
+  // Out-of-registry authors can never verify (KeyRegistry bounds-checks
+  // the signer), so this is unreachable from the handler; reject outright.
+  if (a >= watermark_.size()) return;
+  // Dedup: only verified records reach this point and the simulated
+  // signatures are existentially unforgeable, so (author, seq) identifies
+  // the record — held iff below the contiguous prefix or parked.
+  if (rec.seq < watermark_[a] || parked_[a].contains(rec.seq)) return;
+  if (rec.seq > watermark_[a]) {
+    // Out of order (gathered by a read merge before the author's own
+    // broadcast arrived): park until the prefix catches up. The park set
+    // is bounded; beyond the cap admission is refused entirely — the
+    // record stays above our advertised frontier, so a later delta read
+    // re-fetches it once the prefix advances.
+    if (config_.compact.parked_cap != 0 && parked_[a].size() >= config_.compact.parked_cap) {
+      ++stats_.parked_rejects;
+      return;
+    }
     parked_[a].insert(rec.seq);
+    view_.push_back(rec);
+    maybe_auto_compact();
+    return;
   }
+  // rec.seq == watermark_[a]: the contiguous prefix grows.
+  view_.push_back(rec);
+  ++watermark_[a];
+  while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
+  maybe_auto_compact();
 }
 
 void AbdNode::handle(NodeId from, const WireMessage& msg) {
@@ -177,6 +232,89 @@ void AbdNode::handle(NodeId from, const WireMessage& msg) {
       }
       break;
     }
+    case WireMessage::Kind::kCheckpointReq: {
+      // Serve the freshest cut we can vouch for: advance our own
+      // checkpoint to the quantized stability cut first (a pure local
+      // fold — no messages), so nodes whose watermarks agree answer with
+      // byte-identical checkpoints and the requester's quorum match can
+      // succeed. With compaction off the checkpoint stays empty, which
+      // all non-compacting nodes also agree on.
+      if (config_.compact.enabled) {
+        const u32 cut = auto_cut();
+        if (cut > checkpoint_.folded_below) compact_below(cut);
+      }
+      WireMessage reply;
+      reply.kind = WireMessage::Kind::kCheckpointReply;
+      reply.read_id = msg.read_id;
+      reply.checkpoint = checkpoint_;
+      net_->send(id_, from, std::move(reply));
+      break;
+    }
+    case WireMessage::Kind::kCheckpointReply: {
+      const auto it = pending_syncs_.find(msg.read_id);
+      if (it == pending_syncs_.end()) return;
+      PendingSync& ps = it->second;
+      const Checkpoint& cp = msg.checkpoint;
+      // The reply must be vouched for by the responder itself: a relay or
+      // forger cannot re-sign another node's checkpoint (Lemma 4.1), and
+      // a malformed summary fails the shape check before any comparison.
+      if (cp.sig.signer != from) return;
+      if (!verifier_.verify(cp.digest(), cp.sig)) return;
+      if (!builder_.well_formed(cp)) return;
+      for (const auto& [peer, prev] : ps.replies) {
+        if (peer == from.index) return;  // one reply per responder counts
+      }
+      ps.replies.emplace_back(from.index, cp);
+      // Adopt the first checkpoint that >= quorum responders agree on
+      // structurally. A lying minority (forged chains, inflated cut)
+      // disagrees with every honest reply, so it can neither win the vote
+      // nor block it while a correct quorum responds.
+      for (const auto& [peer, cand] : ps.replies) {
+        u32 agree = 0;
+        for (const auto& [p2, other] : ps.replies) {
+          if (other.structurally_equal(cand)) ++agree;
+        }
+        if (agree < quorum_) continue;
+        // Copy out before erasing the pending sync: `cand` borrows from it.
+        const Checkpoint agreed = cand;
+        auto done = std::move(ps.done);
+        pending_syncs_.erase(it);
+        adopt_checkpoint(agreed);
+        ++stats_.checkpoint_syncs;
+        if (done) done(true);
+        return;
+      }
+      break;
+    }
+  }
+}
+
+void AbdNode::begin_checkpoint_sync(std::function<void(bool)> done) {
+  const u64 rid = (static_cast<u64>(id_.index) << 40) | next_read_id_++;
+  pending_syncs_.emplace(rid, PendingSync{{}, std::move(done)});
+  WireMessage msg;
+  msg.kind = WireMessage::Kind::kCheckpointReq;
+  msg.read_id = rid;
+  net_->broadcast(id_, msg);
+}
+
+void AbdNode::adopt_checkpoint(const Checkpoint& cp) {
+  if (cp.folded_below <= checkpoint_.folded_below) return;
+  // Only a summary-mode node treats the agreed checkpoint as history it
+  // holds: its peers have dropped the folded bodies, so the summary *is*
+  // the prefix. Retain mode and compaction-off keep gathering full bodies
+  // through the ordinary read path — for them the sync is a cross-check.
+  if (!config_.compact.enabled || config_.compact.retain_records) return;
+  checkpoint_ = cp;
+  checkpoint_.sig = keys_->sign(id_, checkpoint_.digest());  // re-issue under our key
+  // Bodies below the cut are summarized now; drop any we hold, jump the
+  // watermarks to the cut, and let parked seqs right at the cut extend the
+  // prefix as usual.
+  std::erase_if(view_, [&](const SignedAppend& r) { return r.seq < cp.folded_below; });
+  for (u32 a = 0; a < watermark_.size(); ++a) {
+    if (watermark_[a] < cp.folded_below) watermark_[a] = cp.folded_below;
+    std::erase_if(parked_[a], [&](u32 s) { return s < cp.folded_below; });
+    while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
   }
 }
 
@@ -245,12 +383,36 @@ ForgerNode::ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::K
         net_->send(id_, from, std::move(reply));
         break;
       }
-      // The forger deliberately ignores acks and read replies: it never
-      // appends honestly, so neither message advances its attack. Spelled
-      // out per kind so a future fifth message kind fails to compile here
-      // instead of being silently dropped.
+      case WireMessage::Kind::kCheckpointReq: {
+        // Answer with a *lie*: a shape-valid checkpoint claiming a history
+        // that never happened, signed with the forger's own key (the only
+        // one it holds — so the signature itself verifies and signer ==
+        // sender passes). Nothing about the reply is locally rejectable;
+        // the requester survives only because a quorum of honest replies
+        // agrees with each other and not with this one.
+        const u32 authors = keys_->node_count();
+        WireMessage reply;
+        reply.kind = WireMessage::Kind::kCheckpointReply;
+        reply.read_id = msg.read_id;
+        Checkpoint& lie = reply.checkpoint;
+        lie.folded_below = 7;
+        lie.chains.resize(authors);
+        for (u32 a = 0; a < authors; ++a) {
+          lie.chains[a] = crypto::DigestBuilder{}.add(0xbadULL).add(a).finish();
+        }
+        lie.folded_records = static_cast<u64>(lie.folded_below) * authors;
+        lie.vote_sum = -static_cast<i64>(lie.folded_records);  // all-minus: flips Alg. 6
+        lie.sig = keys_->sign(id_, lie.digest());
+        net_->send(id_, from, std::move(reply));
+        break;
+      }
+      // The forger deliberately ignores acks, read replies and checkpoint
+      // replies: it never appends or syncs honestly, so none of these
+      // advances its attack. Spelled out per kind so a future message kind
+      // fails to compile here instead of being silently dropped.
       case WireMessage::Kind::kAck:
       case WireMessage::Kind::kReadReply:
+      case WireMessage::Kind::kCheckpointReply:
         break;
     }
   });

@@ -41,9 +41,37 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mp/checkpoint.hpp"
 #include "mp/transport.hpp"
 
 namespace amm::mp {
+
+/// Decided-prefix compaction policy (DESIGN.md §8). The *stability cut*
+/// (minimum per-author watermark) bounds a permanent canonical prefix;
+/// compaction folds it into the node's mp::Checkpoint.
+struct CompactConfig {
+  /// Master switch; off reproduces the unbounded pre-compaction node.
+  bool enabled = false;
+  /// With true (retain mode) the folded record bodies stay in the view —
+  /// compaction is pure metadata and provably observation-invisible (the
+  /// equivalence suite pins this). With false (summary mode) folded bodies
+  /// are erased: memory stays flat, reads serve only the live suffix, and
+  /// decisions/restart sync lean on the checkpoint.
+  bool retain_records = true;
+  /// Records per author kept live behind the stability cut before folding
+  /// (slack for stragglers whose reads still reference low seqs).
+  u32 lag = 256;
+  /// Auto-compaction cuts are rounded down to a multiple of this, so nodes
+  /// whose watermarks agree produce byte-identical checkpoints (the
+  /// cross-check and quorum adoption of a checkpoint sync require it).
+  u32 quantum = 64;
+  /// Admissions between auto-compaction attempts; 0 = manual-only
+  /// (compact_below).
+  u32 auto_interval = 64;
+  /// Max parked (out-of-order) seqs per author; admission beyond the cap
+  /// is refused (self-heals via a later delta read). 0 = unbounded.
+  u32 parked_cap = 4096;
+};
 
 /// Tuning knobs for AbdNode. Defaults are the optimised protocol; the
 /// legacy full-view configuration is kept as the test reference.
@@ -54,6 +82,10 @@ struct AbdConfig {
   bool delta_reads = true;
   /// Max appends in flight; further begin_append calls queue in order.
   u32 max_pipeline = 32;
+  /// Decided-prefix compaction (off by default: memory is unbounded).
+  CompactConfig compact;
+  /// VerifyCache key capacity (0 = unbounded).
+  usize verify_cache_cap = crypto::VerifyCache::kDefaultCapacity;
 };
 
 /// A correct node running the ABD-style simulation. Written against the
@@ -67,6 +99,10 @@ class AbdNode {
     u64 reads_served_delta = 0;  ///< kReadReq answered above a non-empty frontier
     u64 read_records_sent = 0;   ///< records shipped in our kReadReply messages
     u64 read_fallbacks = 0;      ///< our delta reads that fell back to a full read
+    u64 records_folded = 0;      ///< records folded into the checkpoint
+    u64 compactions = 0;         ///< compact_below calls that advanced the cut
+    u64 parked_rejects = 0;      ///< admissions refused by the parked_ cap
+    u64 checkpoint_syncs = 0;    ///< quorum-agreed checkpoint syncs completed
   };
 
   AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys, AbdConfig config = {});
@@ -75,9 +111,36 @@ class AbdNode {
   const AbdConfig& config() const { return config_; }
   const Stats& stats() const { return stats_; }
   u64 verify_cache_hits() const { return verifier_.hits(); }
+  u64 verify_cache_misses() const { return verifier_.misses(); }
+  u64 verify_cache_evictions() const { return verifier_.evictions(); }
+  usize verify_cache_size() const { return verifier_.size(); }
 
-  /// Local view M_v, in arrival order.
+  /// Local view M_v, in arrival order. In summary mode this is only the
+  /// live suffix — the folded prefix lives in checkpoint().
   const std::vector<SignedAppend>& local_view() const { return view_; }
+
+  /// The folded decided prefix (empty until the first compaction).
+  const Checkpoint& checkpoint() const { return checkpoint_; }
+
+  /// Records currently held as bodies (the memory the node actually pays).
+  usize live_records() const { return view_.size(); }
+
+  /// The stability cut: min per-author contiguous-prefix watermark. Every
+  /// record below it is final on this node (see mp/checkpoint.hpp).
+  u32 stability_cut() const;
+
+  /// Folds every record with seq < s_cut into the checkpoint (clamped to
+  /// the stability cut; no-op at or below the current cut). In summary
+  /// mode also erases the folded bodies from the view.
+  void compact_below(u32 s_cut);
+
+  /// Broadcasts kCheckpointReq and, once >= quorum structurally identical,
+  /// signature-valid replies arrive, adopts the agreed checkpoint (summary
+  /// mode: watermarks jump to the cut so delta reads fetch only the
+  /// suffix). `done(true)` fires on agreement; replies that disagree or
+  /// fail verification are ignored, so a lying minority cannot block or
+  /// poison the sync (the quorum intersection argument of Lemma 4.2).
+  void begin_checkpoint_sync(std::function<void(bool)> done);
 
   /// Starts an M.append(value); `done` fires when > n/2 acks arrived.
   /// Up to `config.max_pipeline` appends run concurrently; beyond that the
@@ -98,10 +161,12 @@ class AbdNode {
 
  private:
   void handle(NodeId from, const WireMessage& msg);
-  bool known(const SignedAppend& rec) const { return known_.contains(rec.digest()); }
   void admit(const SignedAppend& rec);
   void launch_append(i64 value, std::function<void()> done);
   std::vector<FrontierEntry> make_frontier() const;
+  u32 auto_cut() const;  ///< quantized (stability - lag) auto-compaction cut
+  void maybe_auto_compact();
+  void adopt_checkpoint(const Checkpoint& cp);
 
   struct PendingAppend {
     std::unordered_set<u32> ackers;
@@ -118,25 +183,37 @@ class AbdNode {
     bool fell_back = false;   ///< one full-read retry per read, at most
     u64 expected_echo = 0;    ///< digest of the frontier this read awaits
   };
+  struct PendingSync {
+    std::vector<std::pair<u32, Checkpoint>> replies;  // one per responder
+    std::function<void(bool)> done;
+  };
 
   NodeId id_;
   Transport* net_;
   const crypto::KeyRegistry* keys_;
   mutable crypto::VerifyCache verifier_;
   AbdConfig config_;
+  CheckpointBuilder builder_;
   u32 quorum_;  // floor(n/2) + 1
   u32 next_seq_ = 0;
   u64 next_read_id_ = 0;
+  u32 admits_since_compact_ = 0;
   std::vector<SignedAppend> view_;
-  std::unordered_set<u64> known_;  // digests present in view_
   // Frontier bookkeeping: watermark_[a] = length of the contiguous prefix
-  // of author a's records in view_; seqs admitted out of order (via read
-  // merges) park in parked_[a] until the prefix catches up.
+  // of author a's records this node holds (folded prefix included); seqs
+  // admitted out of order (via read merges) park in parked_[a] until the
+  // prefix catches up. Dedup rides on the same state: only verified
+  // records are ever admitted and the simulated signatures are
+  // existentially unforgeable, so (author, seq) identifies a record —
+  // `seq < watermark || parked.contains(seq)` is exactly "already held",
+  // which is what let the digest set the node used to carry be dropped.
   std::vector<u32> watermark_;
   std::vector<std::unordered_set<u32>> parked_;
+  Checkpoint checkpoint_;
   std::unordered_map<u64, PendingAppend> pending_appends_;  // keyed by record digest
   std::deque<QueuedAppend> append_backlog_;
   std::unordered_map<u64, PendingRead> pending_reads_;
+  std::unordered_map<u64, PendingSync> pending_syncs_;
   Stats stats_;
 };
 

@@ -1,0 +1,72 @@
+#include "mp/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace amm::mp {
+
+u64 CheckpointBuilder::chain_step(u64 chain, u32 seq, i64 value) {
+  return crypto::DigestBuilder{}
+      .add(0x636b70742d6c696eULL)  // domain separator ("ckpt-lin")
+      .add(chain)
+      .add(seq)
+      .add(static_cast<u64>(value))
+      .finish();
+}
+
+u64 CheckpointBuilder::extend(Checkpoint& cp, const std::vector<SignedAppend>& view,
+                              u32 s_cut) const {
+  AMM_EXPECTS(s_cut >= cp.folded_below);
+  if (cp.chains.empty()) cp.chains.resize(authors_, 0);
+  AMM_EXPECTS(cp.chains.size() == authors_);
+  const u32 from = cp.folded_below;
+  const u32 span = s_cut - from;
+  if (span == 0) return 0;
+
+  // Gather the folded range per author. The view is in arrival order, so
+  // bucket by (author, seq - from) first, then chain in seq order.
+  std::vector<std::vector<i64>> values(authors_, std::vector<i64>(span, 0));
+  std::vector<std::vector<bool>> present(authors_, std::vector<bool>(span, false));
+  for (const SignedAppend& rec : view) {
+    const u32 a = rec.author.index;
+    if (a >= authors_ || rec.seq < from || rec.seq >= s_cut) continue;
+    values[a][rec.seq - from] = rec.value;
+    present[a][rec.seq - from] = true;
+  }
+
+  u64 folded = 0;
+  for (u32 a = 0; a < authors_; ++a) {
+    u64 chain = cp.chains[a];
+    for (u32 off = 0; off < span; ++off) {
+      // The stability cut guarantees the full range is in hand; a hole
+      // here means the caller cut above its own watermark.
+      AMM_EXPECTS(present[a][off]);
+      const i64 value = values[a][off];
+      chain = chain_step(chain, from + off, value);
+      cp.vote_sum += value >= 0 ? 1 : -1;
+      ++folded;
+    }
+    cp.chains[a] = chain;
+  }
+  cp.folded_below = s_cut;
+  cp.folded_records += folded;
+  return folded;
+}
+
+bool CheckpointBuilder::well_formed(const Checkpoint& cp) const {
+  if (cp.folded_below == 0) {
+    return cp.folded_records == 0 && cp.vote_sum == 0 &&
+           (cp.chains.empty() ||
+            (cp.chains.size() == authors_ &&
+             std::all_of(cp.chains.begin(), cp.chains.end(), [](u64 c) { return c == 0; })));
+  }
+  if (cp.chains.size() != authors_) return false;
+  if (cp.folded_records != static_cast<u64>(cp.folded_below) * authors_) return false;
+  // |vote_sum| <= folded_records and matching parity (each record is ±1).
+  const i64 f = static_cast<i64>(cp.folded_records);
+  if (cp.vote_sum > f || cp.vote_sum < -f) return false;
+  return ((cp.vote_sum % 2 + 2) % 2) == static_cast<i64>(cp.folded_records % 2);
+}
+
+}  // namespace amm::mp

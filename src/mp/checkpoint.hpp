@@ -1,0 +1,61 @@
+// Decided-prefix compaction (DESIGN.md §8): folding the stable prefix of
+// the append memory into a mp::Checkpoint.
+//
+// The *stability cut* s_cut of a node is the minimum of its per-author
+// contiguous-prefix watermarks. Every record (a, s) with s < s_cut is
+// final: a correct author issues seqs in order and the node already holds
+// a's full prefix up to at least s_cut, so no record below the cut can
+// ever appear that the node does not hold. The folded set is therefore a
+// *permanent canonical prefix* — identical (as a set) on every node whose
+// cut has reached s_cut — and can be summarized once and never revisited:
+//
+//   * per-author digest chains pin the exact (seq, value) sequence, so two
+//     checkpoints with equal folded_below are cross-checkable in O(n);
+//   * the folded vote sum equals the Algorithm 6 partial sum over the
+//     canonical first `folded_records` records (the canonical order —
+//     seq, then author — enumerates all seqs < s_cut of every author
+//     before any seq >= s_cut), so decisions for k >= folded_records stay
+//     exact without the folded bodies (net/decision.hpp).
+//
+// CheckpointBuilder performs the fold incrementally: each extend() call
+// advances a checkpoint from its current cut to a higher one, consuming
+// the folded records from the live view. AbdNode owns the policy (when to
+// cut, whether to drop folded bodies); this class owns the arithmetic.
+#pragma once
+
+#include <vector>
+
+#include "mp/wire.hpp"
+
+namespace amm::mp {
+
+class CheckpointBuilder {
+ public:
+  /// `authors` is the registry size; chains are indexed by author.
+  explicit CheckpointBuilder(u32 authors) : authors_(authors) {}
+
+  u32 authors() const { return authors_; }
+
+  /// One link of a per-author digest chain: chain' = H(chain, seq, value).
+  static u64 chain_step(u64 chain, u32 seq, i64 value);
+
+  /// Advances `cp` so it covers every record with seq < s_cut, folding the
+  /// records in [cp.folded_below, s_cut) of every author out of `view`.
+  /// Requires s_cut >= cp.folded_below and that `view` holds the full
+  /// range for every author (guaranteed when s_cut is at or below the
+  /// caller's stability cut and folded bodies below cp.folded_below are
+  /// the only ones ever dropped). Returns the number of records folded by
+  /// this call; `cp.sig` is left untouched (the owner re-signs).
+  u64 extend(Checkpoint& cp, const std::vector<SignedAppend>& view, u32 s_cut) const;
+
+  /// True iff `cp` is internally consistent for this author count: chain
+  /// vector sized to the registry and folded_records matching the uniform
+  /// cut. A structurally inconsistent checkpoint (e.g. from a lying peer)
+  /// fails here before any cross-peer comparison.
+  bool well_formed(const Checkpoint& cp) const;
+
+ private:
+  u32 authors_;
+};
+
+}  // namespace amm::mp

@@ -1,7 +1,9 @@
 // Wire-level message types of the §4 ABD simulation (Algorithms 2–3).
 //
 // `SignedAppend` is the unit the memory views consist of; `WireMessage` is
-// the tagged union over the four ABD message kinds. Both the simulated
+// the tagged union over the six ABD message kinds (the four textbook ones
+// plus the checkpoint-sync pair of the decided-prefix compaction,
+// DESIGN.md §8). Both the simulated
 // Network and the real TCP transport (src/net/) move exactly these types;
 // `wire_size()` is the *exact* encoded payload size of net/codec — the
 // codec derives its layout from the kWire* constants below and
@@ -52,6 +54,47 @@ struct FrontierEntry {
   bool operator==(const FrontierEntry&) const = default;
 };
 
+/// Summary of the permanently decided prefix of the append memory (the
+/// stability cut; DESIGN.md §8). `folded_below` is uniform across authors:
+/// every author's records with seq < folded_below are folded, and because
+/// the cut never exceeds the minimum per-author watermark, no record below
+/// it can still be in flight — the folded set is final. `chains[a]` is a
+/// digest chain over author a's folded (seq, value) pairs in seq order, so
+/// two nodes with equal `folded_below` hold byte-identical decided
+/// prefixes iff their chains match, regardless of arrival order.
+/// `vote_sum` is the sum of ±1 record signs over the folded set (order
+/// independent), which lets Algorithm 6 decide first-k for any
+/// k >= folded_records without the folded bodies.
+struct Checkpoint {
+  u32 folded_below = 0;       ///< every (author, seq) with seq < this is folded
+  std::vector<u64> chains;    ///< per-author digest chain over folded records
+  u64 folded_records = 0;     ///< total records folded (= folded_below * authors)
+  i64 vote_sum = 0;           ///< sum of ±1 signs over the folded records
+  crypto::Signature sig;      ///< issuer's signature over digest()
+
+  u64 digest() const {
+    crypto::DigestBuilder b;
+    b.add(0x636865636b707431ULL);  // domain separator ("checkpt1")
+    b.add(folded_below);
+    b.add(chains.size());
+    for (const u64 c : chains) b.add(c);
+    b.add(folded_records);
+    b.add(static_cast<u64>(vote_sum));
+    return b.finish();
+  }
+
+  /// Equality of the summarized prefix itself, ignoring who signed it —
+  /// the cross-check a checkpoint sync runs across peers' replies.
+  bool structurally_equal(const Checkpoint& o) const {
+    return folded_below == o.folded_below && chains == o.chains &&
+           folded_records == o.folded_records && vote_sum == o.vote_sum;
+  }
+
+  bool operator==(const Checkpoint& o) const {
+    return structurally_equal(o) && sig == o.sig;
+  }
+};
+
 /// Exact encoded field widths (little-endian, fixed width). net/codec
 /// writes fields in declaration order using these widths; change them only
 /// together with the codec.
@@ -62,18 +105,28 @@ inline constexpr usize kWireReadIdBytes = 8;
 inline constexpr usize kWireCountBytes = 4;   // length prefix (view / frontier)
 inline constexpr usize kWireFrontierEntryBytes = 4 + 4;  // author + seq
 inline constexpr usize kWireEchoBytes = 8;    // digest-of-frontier echo in kReadReply
+inline constexpr usize kWireChainBytes = 8;   // one per-author checkpoint digest chain
+/// Fixed part of an encoded Checkpoint: folded_below + chain count +
+/// folded_records + vote_sum + signature (the chains are the variable part).
+inline constexpr usize kWireCheckpointFixedBytes = 4 + kWireCountBytes + 8 + 8 + kWireSigBytes;
 
-/// Wire format: a tagged union over the four ABD message kinds.
+/// Exact encoded size of a Checkpoint with `chains` per-author chains.
+inline constexpr usize wire_checkpoint_bytes(usize chains) {
+  return kWireCheckpointFixedBytes + chains * kWireChainBytes;
+}
+
+/// Wire format: a tagged union over the six ABD message kinds.
 struct WireMessage {
-  enum class Kind : u8 { kAppend, kAck, kReadReq, kReadReply };
+  enum class Kind : u8 { kAppend, kAck, kReadReq, kReadReply, kCheckpointReq, kCheckpointReply };
 
   Kind kind = Kind::kAppend;
   SignedAppend append;              ///< kAppend: the record; kAck: the acked record
   crypto::Signature ack_sig;        ///< kAck: acker's signature over the record digest
-  u64 read_id = 0;                  ///< kReadReq / kReadReply correlation id
+  u64 read_id = 0;                  ///< kReadReq/kReadReply/kCheckpointReq/kCheckpointReply id
   std::vector<FrontierEntry> frontier;  ///< kReadReq: reader's watermarks (empty = full read)
   u64 frontier_echo = 0;            ///< kReadReply: digest of the frontier being answered
   std::vector<SignedAppend> view;   ///< kReadReply: records above the frontier
+  Checkpoint checkpoint;            ///< kCheckpointReply: responder's signed checkpoint
 
   /// Exact serialized payload size in bytes (the net/codec encoding; the
   /// 4-byte frame length prefix of the TCP transport is not included).
@@ -89,6 +142,11 @@ struct WireMessage {
       case Kind::kReadReply:
         return kWireKindBytes + kWireReadIdBytes + kWireEchoBytes + kWireCountBytes +
                view.size() * kWireRecordBytes;
+      case Kind::kCheckpointReq:
+        return kWireKindBytes + kWireReadIdBytes;
+      case Kind::kCheckpointReply:
+        return kWireKindBytes + kWireReadIdBytes + kWireCheckpointFixedBytes +
+               checkpoint.chains.size() * kWireChainBytes;
     }
     return kWireKindBytes;
   }

@@ -76,8 +76,97 @@ std::optional<mp::SignedAppend> decode_record(Decoder& dec) {
   return rec;
 }
 
-std::vector<u8> encode_message(const mp::WireMessage& msg) {
-  Encoder enc;
+namespace {
+
+void store_u32(u8* dst, u32 v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<u8>(v >> (8 * i));
+}
+
+void store_u64(u8* dst, u64 v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<u8>(v >> (8 * i));
+}
+
+u32 load_u32(const u8* src) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(src[i]) << (8 * i);
+  return v;
+}
+
+u64 load_u64(const u8* src) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(src[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+usize encode_record_to(std::span<u8> dst, const mp::SignedAppend& rec) {
+  AMM_EXPECTS(dst.size() >= mp::kWireRecordBytes);
+  u8* p = dst.data();
+  store_u32(p, rec.author.index);
+  store_u32(p + 4, rec.seq);
+  store_u64(p + 8, static_cast<u64>(rec.value));
+  store_u32(p + 16, rec.sig.signer.index);
+  store_u64(p + 20, rec.sig.tag);
+  return mp::kWireRecordBytes;
+}
+
+std::optional<mp::SignedAppend> decode_record_from(std::span<const u8> src) {
+  if (src.size() < mp::kWireRecordBytes) return std::nullopt;
+  const u8* p = src.data();
+  mp::SignedAppend rec;
+  rec.author = NodeId{load_u32(p)};
+  rec.seq = load_u32(p + 4);
+  rec.value = static_cast<i64>(load_u64(p + 8));
+  rec.sig = crypto::Signature{NodeId{load_u32(p + 16)}, load_u64(p + 20)};
+  return rec;
+}
+
+void encode_checkpoint(Encoder& enc, const mp::Checkpoint& ckpt) {
+  enc.put_u32(ckpt.folded_below);
+  enc.put_u32(static_cast<u32>(ckpt.chains.size()));
+  for (const u64 chain : ckpt.chains) enc.put_u64(chain);
+  enc.put_u64(ckpt.folded_records);
+  enc.put_i64(ckpt.vote_sum);
+  enc.put_u32(ckpt.sig.signer.index);
+  enc.put_u64(ckpt.sig.tag);
+}
+
+std::optional<mp::Checkpoint> decode_checkpoint(Decoder& dec) {
+  mp::Checkpoint ckpt;
+  const auto folded_below = dec.get_u32();
+  const auto count = dec.get_u32();
+  if (!folded_below || !count) return std::nullopt;
+  // The chain count must match the remaining bytes exactly (there is
+  // nothing after a checkpoint in any frame that carries one) — a lying
+  // count is corruption, not a short chain vector.
+  if (dec.remaining() !=
+      static_cast<usize>(*count) * mp::kWireChainBytes + 8 + 8 + mp::kWireSigBytes) {
+    return std::nullopt;
+  }
+  ckpt.folded_below = *folded_below;
+  ckpt.chains.reserve(*count);
+  for (u32 i = 0; i < *count; ++i) {
+    const auto chain = dec.get_u64();
+    if (!chain) return std::nullopt;
+    ckpt.chains.push_back(*chain);
+  }
+  const auto folded_records = dec.get_u64();
+  const auto vote_sum = dec.get_i64();
+  const auto signer = dec.get_u32();
+  const auto tag = dec.get_u64();
+  if (!dec.ok()) return std::nullopt;
+  ckpt.folded_records = *folded_records;
+  ckpt.vote_sum = *vote_sum;
+  ckpt.sig = crypto::Signature{NodeId{*signer}, *tag};
+  return ckpt;
+}
+
+namespace {
+
+/// Shared body writer: kind byte plus per-kind fields. encode_message and
+/// encode_framed_message differ only in what surrounds the payload.
+void encode_message_body(Encoder& enc, const mp::WireMessage& msg) {
   enc.put_u8(static_cast<u8>(msg.kind));
   switch (msg.kind) {
     case mp::WireMessage::Kind::kAppend:
@@ -102,15 +191,42 @@ std::vector<u8> encode_message(const mp::WireMessage& msg) {
       enc.put_u32(static_cast<u32>(msg.view.size()));
       for (const mp::SignedAppend& rec : msg.view) encode_record(enc, rec);
       break;
+    case mp::WireMessage::Kind::kCheckpointReq:
+      enc.put_u64(msg.read_id);
+      break;
+    case mp::WireMessage::Kind::kCheckpointReply:
+      enc.put_u64(msg.read_id);
+      encode_checkpoint(enc, msg.checkpoint);
+      break;
   }
+}
+
+}  // namespace
+
+std::vector<u8> encode_message(const mp::WireMessage& msg) {
+  Encoder enc;
+  enc.reserve(msg.wire_size());
+  encode_message_body(enc, msg);
   AMM_ENSURES(enc.bytes().size() == msg.wire_size());
+  return enc.take();
+}
+
+std::vector<u8> encode_framed_message(const mp::WireMessage& msg) {
+  const usize len = 1 + msg.wire_size();  // frame kind byte + payload
+  AMM_EXPECTS(len <= kMaxFrameBytes);
+  Encoder enc;
+  enc.reserve(kFrameHeaderBytes + len);
+  enc.put_u32(static_cast<u32>(len));
+  enc.put_u8(static_cast<u8>(FrameKind::kMsg));
+  encode_message_body(enc, msg);
+  AMM_ENSURES(enc.bytes().size() == kFrameHeaderBytes + len);
   return enc.take();
 }
 
 std::optional<mp::WireMessage> decode_message(std::span<const u8> payload) {
   Decoder dec(payload);
   const auto kind_byte = dec.get_u8();
-  if (!kind_byte || *kind_byte > static_cast<u8>(mp::WireMessage::Kind::kReadReply)) {
+  if (!kind_byte || *kind_byte > static_cast<u8>(mp::WireMessage::Kind::kCheckpointReply)) {
     return std::nullopt;
   }
   mp::WireMessage msg;
@@ -168,6 +284,23 @@ std::optional<mp::WireMessage> decode_message(std::span<const u8> payload) {
         if (!rec) return std::nullopt;
         msg.view.push_back(*rec);
       }
+      break;
+    }
+    case mp::WireMessage::Kind::kCheckpointReq: {
+      const auto rid = dec.get_u64();
+      if (!rid) return std::nullopt;
+      msg.read_id = *rid;
+      break;
+    }
+    case mp::WireMessage::Kind::kCheckpointReply: {
+      const auto rid = dec.get_u64();
+      if (!rid) return std::nullopt;
+      // decode_checkpoint enforces the exact chain-count-vs-remaining
+      // match (the checkpoint is the tail of this frame).
+      const auto ckpt = decode_checkpoint(dec);
+      if (!ckpt) return std::nullopt;
+      msg.read_id = *rid;
+      msg.checkpoint = *ckpt;
       break;
     }
   }
@@ -249,6 +382,12 @@ std::vector<u8> encode_ctl_reply(const CtlReply& rep) {
   enc.put_u64(rep.stats.read_records_sent);
   enc.put_u64(rep.stats.read_fallbacks);
   enc.put_u64(rep.stats.verify_cache_hits);
+  enc.put_u64(rep.stats.verify_cache_misses);
+  enc.put_u64(rep.stats.verify_cache_evictions);
+  enc.put_u64(rep.stats.records_folded);
+  enc.put_u64(rep.stats.live_records);
+  enc.put_u64(rep.stats.parked_rejects);
+  enc.put_u64(rep.stats.rss_kb);
   return enc.take();
 }
 
@@ -287,10 +426,17 @@ std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
   const auto read_records = dec.get_u64();
   const auto fallbacks = dec.get_u64();
   const auto cache_hits = dec.get_u64();
+  const auto cache_misses = dec.get_u64();
+  const auto cache_evictions = dec.get_u64();
+  const auto records_folded = dec.get_u64();
+  const auto live_records = dec.get_u64();
+  const auto parked_rejects = dec.get_u64();
+  const auto rss_kb = dec.get_u64();
   if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
   rep.stats = CtlStats{*messages, *bytes, *view_size, *appends, *reconnects, *auth_rejects,
                        *sig_rejects, *reads_full, *reads_delta, *read_records, *fallbacks,
-                       *cache_hits};
+                       *cache_hits, *cache_misses, *cache_evictions, *records_folded,
+                       *live_records, *parked_rejects, *rss_kb};
   return rep;
 }
 
@@ -304,10 +450,9 @@ void append_frame(std::vector<u8>& out, FrameKind kind, std::span<const u8> payl
   out.insert(out.end(), payload.begin(), payload.end());
 }
 
-FrameStatus extract_frame(std::vector<u8>& buf, Frame* out) {
+FrameStatus extract_frame_view(std::span<const u8> buf, FrameView* out, usize* consumed) {
   if (buf.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
-  u32 len = 0;
-  for (int i = 0; i < 4; ++i) len |= static_cast<u32>(buf[static_cast<usize>(i)]) << (8 * i);
+  const u32 len = load_u32(buf.data());
   if (len == 0 || len > kMaxFrameBytes) return FrameStatus::kCorrupt;
   if (buf.size() < kFrameHeaderBytes + len) return FrameStatus::kNeedMore;
   const u8 kind = buf[kFrameHeaderBytes];
@@ -315,9 +460,19 @@ FrameStatus extract_frame(std::vector<u8>& buf, Frame* out) {
     return FrameStatus::kCorrupt;
   }
   out->kind = static_cast<FrameKind>(kind);
-  out->payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + 1),
-                      buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + len));
-  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes + len));
+  out->payload = buf.subspan(kFrameHeaderBytes + 1, len - 1);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameStatus::kFrame;
+}
+
+FrameStatus extract_frame(std::vector<u8>& buf, Frame* out) {
+  FrameView view;
+  usize consumed = 0;
+  const FrameStatus status = extract_frame_view(buf, &view, &consumed);
+  if (status != FrameStatus::kFrame) return status;
+  out->kind = view.kind;
+  out->payload.assign(view.payload.begin(), view.payload.end());
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(consumed));
   return FrameStatus::kFrame;
 }
 

@@ -45,6 +45,10 @@ class Encoder {
   void put_u64(u64 v);
   void put_i64(i64 v) { put_u64(static_cast<u64>(v)); }
 
+  /// Pre-sizes for `n` more bytes — wire_size()/frame arithmetic is exact,
+  /// so a reserving caller pays exactly one allocation per buffer.
+  void reserve(usize n) { buf_.reserve(buf_.size() + n); }
+
   const std::vector<u8>& bytes() const { return buf_; }
   std::vector<u8> take() { return std::move(buf_); }
 
@@ -77,9 +81,29 @@ class Decoder {
 void encode_record(Encoder& enc, const mp::SignedAppend& rec);
 std::optional<mp::SignedAppend> decode_record(Decoder& dec);
 
+/// Zero-copy record write: serializes `rec` into the first
+/// mp::kWireRecordBytes of `dst` (which must be at least that large) with
+/// no intermediate buffer. Returns the bytes written. Byte-identical to
+/// encode_record, pinned by tests/net/codec_test.cpp.
+usize encode_record_to(std::span<u8> dst, const mp::SignedAppend& rec);
+
+/// Zero-copy record read: decodes the first mp::kWireRecordBytes of `src`
+/// (a borrowed view into a receive buffer or arena page); nullopt when
+/// `src` is shorter than one record.
+std::optional<mp::SignedAppend> decode_record_from(std::span<const u8> src);
+
+void encode_checkpoint(Encoder& enc, const mp::Checkpoint& ckpt);
+std::optional<mp::Checkpoint> decode_checkpoint(Decoder& dec);
+
 /// Encodes the message payload (no frame header, no frame kind byte).
 /// Postcondition: result.size() == msg.wire_size().
 std::vector<u8> encode_message(const mp::WireMessage& msg);
+
+/// Encodes [u32 len][kMsg kind][payload] in one exactly-sized allocation —
+/// the transport's send path: no payload-to-frame copy, and on broadcast
+/// the returned buffer becomes a shared page referenced by every peer's
+/// queue. Byte-identical to append_frame(encode_message(msg)).
+std::vector<u8> encode_framed_message(const mp::WireMessage& msg);
 
 /// Decodes a message payload; rejects trailing garbage, truncation, bad
 /// kind tags and view counts that do not match the remaining bytes.
@@ -128,6 +152,12 @@ struct CtlStats {
   u64 read_records_sent = 0;    ///< records shipped in this node's read replies
   u64 read_fallbacks = 0;       ///< this node's delta reads that fell back to full
   u64 verify_cache_hits = 0;    ///< signature checks answered by the verify cache
+  u64 verify_cache_misses = 0;  ///< cache probes that went to the registry
+  u64 verify_cache_evictions = 0;  ///< cache keys aged out by rotation
+  u64 records_folded = 0;       ///< records folded into the checkpoint
+  u64 live_records = 0;         ///< record bodies currently held (view size)
+  u64 parked_rejects = 0;       ///< admissions refused by the parked cap
+  u64 rss_kb = 0;               ///< resident set size of the node process, KiB
 };
 
 struct CtlReply {
@@ -164,5 +194,19 @@ enum class FrameStatus : u8 {
 /// Extracts the next complete frame from the front of `buf`, consuming its
 /// bytes. kNeedMore leaves `buf` untouched.
 FrameStatus extract_frame(std::vector<u8>& buf, Frame* out);
+
+/// One frame viewed in place inside a receive buffer: the payload is a
+/// borrowed span, valid only until the buffer is mutated.
+struct FrameView {
+  FrameKind kind;
+  std::span<const u8> payload;
+};
+
+/// Parses the frame starting at `buf` without consuming anything: on
+/// kFrame, `*out` borrows the payload bytes in place and `*consumed` is
+/// the total frame size (header included). A drain loop advances an
+/// offset across the buffer and erases the consumed prefix once at the
+/// end — one memmove per drain instead of one per frame.
+FrameStatus extract_frame_view(std::span<const u8> buf, FrameView* out, usize* consumed);
 
 }  // namespace amm::net

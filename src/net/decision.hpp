@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mp/wire.hpp"
+#include "support/assert.hpp"
 
 namespace amm::net {
 
@@ -45,6 +46,31 @@ inline Decision decide_first_k(std::vector<mp::SignedAppend> view, u32 k) {
   for (usize i = 0; i < cut; ++i) sum += view[i].value >= 0 ? 1 : -1;
   decision.sign = vote_value(sign_decision(sum));
   decision.decided_over = static_cast<u32>(cut);
+  return decision;
+}
+
+/// decide_first_k over a compacted node: the folded prefix contributes
+/// through the checkpoint's vote_sum, the live suffix through its records.
+/// Exact for k >= checkpoint.folded_records because the checkpoint's
+/// uniform cut is canonically closed — the canonical order (seq, then
+/// author) enumerates *every* folded record (all seqs < folded_below)
+/// before any suffix record (all seqs >= folded_below), so the first
+/// `folded_records` summands are exactly the folded set, in any order
+/// (a sum is permutation-invariant). For k < folded_records the fold has
+/// discarded the per-record resolution this rule would need; callers gate
+/// on k (summary-mode deciders always decide at or past the cut).
+inline Decision decide_first_k_with_checkpoint(const mp::Checkpoint& ckpt,
+                                               std::vector<mp::SignedAppend> suffix, u32 k) {
+  Decision decision;
+  if (k == 0 || (ckpt.folded_records == 0 && suffix.empty())) return decision;
+  AMM_EXPECTS(k >= ckpt.folded_records);
+  const usize cut = std::min<usize>(k - ckpt.folded_records, suffix.size());
+  std::partial_sort(suffix.begin(), suffix.begin() + static_cast<std::ptrdiff_t>(cut),
+                    suffix.end(), canonical_before);
+  i64 sum = ckpt.vote_sum;
+  for (usize i = 0; i < cut; ++i) sum += suffix[i].value >= 0 ? 1 : -1;
+  decision.sign = vote_value(sign_decision(sum));
+  decision.decided_over = static_cast<u32>(ckpt.folded_records + cut);
   return decision;
 }
 

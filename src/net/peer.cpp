@@ -45,9 +45,11 @@ FlushResult flush_session_buffers(Session& session, usize max_iov) {
     iovec iov[kMaxWriteIov];
     const usize chain = drain_order(session, refs, max_iov);
     for (usize i = 0; i < chain; ++i) {
-      std::vector<u8>& frame = session.tx[refs[i].cls][refs[i].index];
+      const FrameBuf& frame = session.tx[refs[i].cls][refs[i].index];
       const usize off = (i == 0 && session.tx_active >= 0) ? session.tx_off : 0;
-      iov[i].iov_base = frame.data() + off;
+      // sendmsg never writes through iov_base; the const_cast only adapts
+      // the immutable shared page to the iovec ABI.
+      iov[i].iov_base = const_cast<u8*>(frame.data() + off);
       iov[i].iov_len = frame.size() - off;
     }
     msghdr msg{};
@@ -69,7 +71,7 @@ FlushResult flush_session_buffers(Session& session, usize max_iov) {
       const usize cls = session.tx_active >= 0
                             ? static_cast<usize>(session.tx_active)
                             : (!session.tx[0].empty() ? 0u : 1u);
-      std::vector<u8>& front = session.tx[cls].front();
+      const FrameBuf& front = session.tx[cls].front();
       const usize remaining = front.size() - session.tx_off;
       if (left >= remaining) {
         left -= remaining;
@@ -112,6 +114,15 @@ Admission validate_message(mp::WireMessage& msg, NodeId from, crypto::VerifyCach
       if (!verifier.verify(msg.append.digest(), msg.ack_sig)) return Admission::kReject;
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReq:
+    case mp::WireMessage::Kind::kCheckpointReq:
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kCheckpointReply:
+      // A checkpoint speaks for its responder: the signature must be the
+      // session peer's, over the checkpoint digest.
+      if (msg.checkpoint.sig.signer != from) return Admission::kReject;
+      if (!verifier.verify(msg.checkpoint.digest(), msg.checkpoint.sig)) {
+        return Admission::kReject;
+      }
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReply: {
       const auto invalid = [&verifier](const mp::SignedAppend& rec) {
@@ -137,6 +148,11 @@ Admission collect_signature_checks(mp::WireMessage& msg, NodeId from,
       checks.push_back(crypto::BatchCheck{msg.append.digest(), msg.ack_sig, false});
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReq:
+    case mp::WireMessage::Kind::kCheckpointReq:
+      return Admission::kDeliver;
+    case mp::WireMessage::Kind::kCheckpointReply:
+      if (msg.checkpoint.sig.signer != from) return Admission::kReject;
+      checks.push_back(crypto::BatchCheck{msg.checkpoint.digest(), msg.checkpoint.sig, false});
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReply: {
       // Structural filter now; signature verdicts arrive with the batch.
@@ -158,8 +174,10 @@ Admission apply_verify_verdicts(mp::WireMessage& msg,
   switch (msg.kind) {
     case mp::WireMessage::Kind::kAppend:
     case mp::WireMessage::Kind::kAck:
+    case mp::WireMessage::Kind::kCheckpointReply:
       return (!checks.empty() && checks[0].ok) ? Admission::kDeliver : Admission::kReject;
     case mp::WireMessage::Kind::kReadReq:
+    case mp::WireMessage::Kind::kCheckpointReq:
       return Admission::kDeliver;
     case mp::WireMessage::Kind::kReadReply: {
       // checks[i] corresponds to view[i]: collect_signature_checks queued

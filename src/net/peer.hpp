@@ -25,6 +25,8 @@
 #pragma once
 
 #include <deque>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "crypto/batch.hpp"
@@ -32,6 +34,33 @@
 #include "net/codec.hpp"
 
 namespace amm::net {
+
+/// One outbound frame: a view into an immutable heap page plus the shared
+/// ownership that keeps the page alive while any queue references it. A
+/// broadcast encodes its frame once and every peer's queue holds the same
+/// page (`share`), so fan-out to n peers costs one allocation instead of
+/// n copies; singly-addressed frames wrap their own buffer (`own`). The
+/// page is immutable once queued — flush reads through a const span and
+/// tracks partial writes by offset, never by mutating the page.
+struct FrameBuf {
+  std::shared_ptr<const std::vector<u8>> page;
+  std::span<const u8> bytes;
+
+  usize size() const { return bytes.size(); }
+  const u8* data() const { return bytes.data(); }
+
+  /// Wraps a freshly encoded buffer this frame alone references.
+  static FrameBuf own(std::vector<u8> buf) {
+    auto page = std::make_shared<const std::vector<u8>>(std::move(buf));
+    std::span<const u8> bytes{page->data(), page->size()};
+    return FrameBuf{std::move(page), bytes};
+  }
+
+  /// References an already-shared page (broadcast fan-out).
+  static FrameBuf share(const std::shared_ptr<const std::vector<u8>>& page) {
+    return FrameBuf{page, std::span<const u8>{page->data(), page->size()}};
+  }
+};
 
 enum class SessionState : u8 {
   kAwaitingHello,  ///< inbound, first frame not yet seen
@@ -64,8 +93,8 @@ struct Session {
   /// frame that did not fully leave the socket can be salvaged for the
   /// next connection — a frame the remote only partially received was, by
   /// the framing discipline, never delivered, so resending it whole
-  /// cannot duplicate.
-  std::deque<std::vector<u8>> tx[kTxClasses];
+  /// cannot duplicate. Broadcast frames share one page across all queues.
+  std::deque<FrameBuf> tx[kTxClasses];
   usize tx_off = 0;    ///< bytes of the active front frame already written
   int tx_active = -1;  ///< class owning the partially written front (-1: none)
   usize tx_bytes = 0;  ///< unsent bytes across both classes
@@ -78,11 +107,16 @@ struct Session {
   /// Appends a frame to its class queue. Returns false — frame refused —
   /// only for kRepl while paused (the caller counts the drop); the caller
   /// updates `paused` against its watermarks after a successful enqueue.
-  bool queue_frame(TxClass cls, std::vector<u8> frame) {
+  bool queue_frame(TxClass cls, FrameBuf frame) {
     if (cls == TxClass::kRepl && paused) return false;
     tx_bytes += frame.size();
     tx[static_cast<usize>(cls)].push_back(std::move(frame));
     return true;
+  }
+
+  /// Convenience overload for singly-addressed frames.
+  bool queue_frame(TxClass cls, std::vector<u8> frame) {
+    return queue_frame(cls, FrameBuf::own(std::move(frame)));
   }
 };
 
@@ -121,7 +155,11 @@ bool verify_hello(const Hello& hello, u32 node_count, const crypto::KeyRegistry&
 /// removed from msg.view in place (`*filtered` counts them); the reply
 /// itself is still delivered. kReadReq carries no signature (the frontier
 /// is advisory: a lying frontier can only change *which* records come
-/// back, and the reader's own merge re-verifies all of them).
+/// back, and the reader's own merge re-verifies all of them), and neither
+/// does kCheckpointReq. kCheckpointReply: the checkpoint signature must
+/// verify and its signer must equal the session's peer — a responder
+/// vouches for its own checkpoint; the quorum cross-check happens at the
+/// protocol layer.
 ///
 /// Verification goes through a VerifyCache, so a record crossing this wire
 /// check and then the protocol-layer re-check (or arriving in many read

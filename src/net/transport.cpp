@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstddef>
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "support/assert.hpp"
@@ -47,7 +49,7 @@ constexpr int kListenBacklog = 1024;
 TcpTransport::TcpTransport(TransportConfig config, const crypto::KeyRegistry& keys, Rng rng)
     : config_(std::move(config)),
       keys_(&keys),
-      verifier_(keys),
+      verifier_(keys, config_.verify_cache_cap),
       rng_(rng),
       links_(config_.peers.size()) {
   AMM_EXPECTS(!config_.peers.empty());
@@ -115,18 +117,29 @@ void TcpTransport::send(NodeId from, NodeId to, mp::WireMessage msg) {
     local_.emplace_back(from, std::move(msg));
     return;
   }
-  std::vector<u8> frame;
-  const std::vector<u8> payload = encode_message(msg);
-  frame.reserve(kFrameHeaderBytes + 1 + payload.size());
-  append_frame(frame, FrameKind::kMsg, payload);
-  queue_frame_to_peer(to.index, std::move(frame));
+  // One exactly-sized allocation: header, frame kind and payload are
+  // encoded straight into the buffer the queue will own.
+  queue_frame_to_peer(to.index, FrameBuf::own(encode_framed_message(msg)));
 }
 
 void TcpTransport::broadcast(NodeId from, const mp::WireMessage& msg) {
-  for (u32 to = 0; to < node_count(); ++to) send(from, NodeId{to}, msg);
+  AMM_EXPECTS(from == config_.self);
+  // Encode once; every peer's queue references the same immutable page, so
+  // fan-out to n-1 sockets costs one allocation instead of n-1 copies.
+  std::shared_ptr<const std::vector<u8>> page;
+  for (u32 to = 0; to < node_count(); ++to) {
+    ++messages_sent_;
+    bytes_sent_ += msg.wire_size();
+    if (to == config_.self.index) {
+      local_.emplace_back(from, msg);
+      continue;
+    }
+    if (!page) page = std::make_shared<const std::vector<u8>>(encode_framed_message(msg));
+    queue_frame_to_peer(to, FrameBuf::share(page));
+  }
 }
 
-void TcpTransport::queue_frame_to_peer(u32 peer_index, std::vector<u8> frame) {
+void TcpTransport::queue_frame_to_peer(u32 peer_index, FrameBuf frame) {
   Link& link = links_[peer_index];
   if (link.session && link.session->state != SessionState::kClosed && !link.connecting) {
     Session& session = *link.session;
@@ -306,21 +319,38 @@ bool TcpTransport::read_session(Session& session) {
 }
 
 bool TcpTransport::drain_frames(Session& session) {
+  // Frames are parsed in place (FrameView borrows the payload bytes) and
+  // the consumed prefix is erased once at the end — one memmove per drain
+  // instead of one per frame. Handlers copy what they keep: decode_* and
+  // collect_signature_checks materialize owning structures, so no borrowed
+  // span outlives this loop.
+  usize consumed_total = 0;
+  bool keep = true;
   for (;;) {
-    Frame frame;
-    switch (extract_frame(session.rx, &frame)) {
-      case FrameStatus::kNeedMore:
-        return true;
-      case FrameStatus::kCorrupt:
-        return false;
-      case FrameStatus::kFrame:
-        if (!handle_frame(session, frame)) return false;
-        break;
+    FrameView frame;
+    usize consumed = 0;
+    const std::span<const u8> rest{session.rx.data() + consumed_total,
+                                   session.rx.size() - consumed_total};
+    const FrameStatus status = extract_frame_view(rest, &frame, &consumed);
+    if (status == FrameStatus::kNeedMore) break;
+    if (status == FrameStatus::kCorrupt) {
+      keep = false;
+      break;
+    }
+    consumed_total += consumed;
+    if (!handle_frame(session, frame)) {
+      keep = false;
+      break;
     }
   }
+  if (consumed_total > 0) {
+    session.rx.erase(session.rx.begin(),
+                     session.rx.begin() + static_cast<std::ptrdiff_t>(consumed_total));
+  }
+  return keep;
 }
 
-bool TcpTransport::handle_frame(Session& session, Frame& frame) {
+bool TcpTransport::handle_frame(Session& session, const FrameView& frame) {
   switch (frame.kind) {
     case FrameKind::kHello: {
       if (session.state != SessionState::kAwaitingHello) return false;

@@ -87,6 +87,8 @@ struct TransportConfig {
   usize outbound_high_watermark = 4u << 20;
   usize outbound_low_watermark = 1u << 20;
   usize max_write_iov = kMaxWriteIov;  ///< frames coalesced per writev
+  /// Wire-admission verify cache key capacity (0 = unbounded).
+  usize verify_cache_cap = crypto::VerifyCache::kDefaultCapacity;
 };
 
 class TcpTransport final : public mp::Transport {
@@ -159,6 +161,8 @@ class TcpTransport final : public mp::Transport {
   u64 backpressure_drops() const { return backpressure_drops_; }
   u64 writev_calls() const { return writev_calls_; }
   u64 verify_cache_hits() const { return verifier_.hits(); }
+  u64 verify_cache_misses() const { return verifier_.misses(); }
+  u64 verify_cache_evictions() const { return verifier_.evictions(); }
   u32 connected_outbound() const;
   /// Unsent bytes currently buffered toward `peer` (0 if no live link).
   usize outbound_queued_bytes(NodeId peer) const;
@@ -179,7 +183,7 @@ class TcpTransport final : public mp::Transport {
     u32 attempts = 0;                  ///< consecutive failed attempts
     bool ever_connected = false;
     Clock::time_point next_attempt{};  ///< earliest redial time
-    std::deque<std::vector<u8>> pending;  ///< encoded frames awaiting a link
+    std::deque<FrameBuf> pending;      ///< encoded frames awaiting a link
   };
 
   /// One admitted kMsg whose signature verdicts are still in the cycle
@@ -194,12 +198,12 @@ class TcpTransport final : public mp::Transport {
   void dial(u32 peer_index);
   void on_link_connected(Link& link, u32 peer_index);
   void on_link_down(Link& link);
-  void queue_frame_to_peer(u32 peer_index, std::vector<u8> frame);
+  void queue_frame_to_peer(u32 peer_index, FrameBuf frame);
   void accept_ready();
   void register_session(Session& session, u32 interest);
   bool read_session(Session& session);     ///< false = session died
   bool drain_frames(Session& session);     ///< false = corrupt, drop it
-  bool handle_frame(Session& session, Frame& frame);
+  bool handle_frame(Session& session, const FrameView& frame);
   void verify_and_dispatch();              ///< batch-verify, sort, deliver
   void flush_and_sync(Session& session);   ///< writev drain + interest upkeep
   void flush_dirty();

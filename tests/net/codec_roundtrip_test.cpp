@@ -24,8 +24,9 @@ using Kind = mp::WireMessage::Kind;
 // The iteration table. kind_ordinal() below is the compile-time guard: it
 // switches over Kind without a default, so adding an enumerator breaks
 // the build here, and the static_assert forces this table to grow too.
-constexpr std::array<Kind, 4> kAllKinds = {Kind::kAppend, Kind::kAck, Kind::kReadReq,
-                                           Kind::kReadReply};
+constexpr std::array<Kind, 6> kAllKinds = {Kind::kAppend,        Kind::kAck,
+                                           Kind::kReadReq,       Kind::kReadReply,
+                                           Kind::kCheckpointReq, Kind::kCheckpointReply};
 
 constexpr usize kind_ordinal(Kind kind) {
   switch (kind) {
@@ -37,6 +38,10 @@ constexpr usize kind_ordinal(Kind kind) {
       return 2;
     case Kind::kReadReply:
       return 3;
+    case Kind::kCheckpointReq:
+      return 4;
+    case Kind::kCheckpointReply:
+      return 5;
   }
   return kAllKinds.size();  // unreachable: the switch above is exhaustive
 }
@@ -98,6 +103,30 @@ std::vector<mp::WireMessage> samples_for(Kind kind, Rng& rng) {
       }
       break;
     }
+    case Kind::kCheckpointReq: {
+      mp::WireMessage msg;
+      msg.kind = kind;
+      msg.read_id = rng.next();
+      out.push_back(msg);
+      break;
+    }
+    case Kind::kCheckpointReply: {
+      // `n` is the per-author chain count; the codec carries whatever the
+      // checkpoint says (well-formedness is the protocol layer's check).
+      for (const usize n : sizes) {
+        mp::WireMessage msg;
+        msg.kind = kind;
+        msg.read_id = rng.next();
+        msg.checkpoint.folded_below = static_cast<u32>(rng.uniform_below(1u << 16));
+        for (usize i = 0; i < n; ++i) msg.checkpoint.chains.push_back(rng.next());
+        msg.checkpoint.folded_records = rng.next();
+        msg.checkpoint.vote_sum = rng.uniform_int(-1'000'000, 1'000'000);
+        msg.checkpoint.sig =
+            crypto::Signature{NodeId{static_cast<u32>(rng.uniform_below(8))}, rng.next()};
+        out.push_back(msg);
+      }
+      break;
+    }
   }
   return out;
 }
@@ -121,6 +150,10 @@ bool equal(const mp::WireMessage& a, const mp::WireMessage& b) {
       }
       return true;
     }
+    case Kind::kCheckpointReq:
+      return a.read_id == b.read_id;
+    case Kind::kCheckpointReply:
+      return a.read_id == b.read_id && a.checkpoint == b.checkpoint;
   }
   return false;
 }
@@ -205,13 +238,16 @@ TEST(CodecRoundTrip, CtlReplyEveryTruncationOffsetRejected) {
     reply.decision = 1;
     reply.decided_over = 4;
     for (usize i = 0; i < view_size; ++i) reply.view.push_back(make_record(rng));
-    reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18};
 
     const std::vector<u8> bytes = encode_ctl_reply(reply);
     const auto decoded = decode_ctl_reply(bytes);
     ASSERT_TRUE(decoded.has_value());
     EXPECT_EQ(decoded->view.size(), view_size);
     EXPECT_EQ(decoded->stats.verify_cache_hits, 12u);
+    // Pin the last CtlStats field: a field appended to the struct but not
+    // the codec shows up here as a dropped 18.
+    EXPECT_EQ(decoded->stats.rss_kb, 18u);
     expect_prefix_and_suffix_rejection(
         bytes, [](std::span<const u8> b) { return decode_ctl_reply(b); }, "decode_ctl_reply");
   }

@@ -40,6 +40,14 @@ mp::WireMessage make_message(Rng& rng, u32 kind_index, usize view_size) {
     msg.frontier_echo = rng.next();
     for (usize i = 0; i < view_size; ++i) msg.view.push_back(make_record(rng, 8));
   }
+  if (msg.kind == mp::WireMessage::Kind::kCheckpointReply) {
+    msg.checkpoint.folded_below = static_cast<u32>(rng.uniform_below(1u << 16));
+    for (usize i = 0; i < view_size; ++i) msg.checkpoint.chains.push_back(rng.next());
+    msg.checkpoint.folded_records = rng.next();
+    msg.checkpoint.vote_sum = rng.uniform_int(-1'000'000, 1'000'000);
+    msg.checkpoint.sig =
+        crypto::Signature{NodeId{static_cast<u32>(rng.uniform_below(8))}, rng.next()};
+  }
   return msg;
 }
 
@@ -62,15 +70,21 @@ bool equal(const mp::WireMessage& a, const mp::WireMessage& b) {
       }
       return true;
     }
+    case mp::WireMessage::Kind::kCheckpointReq:
+      return a.read_id == b.read_id;
+    case mp::WireMessage::Kind::kCheckpointReply:
+      return a.read_id == b.read_id && a.checkpoint == b.checkpoint;
   }
   return false;
 }
 
+constexpr u32 kNumKinds = 6;
+
 TEST(Codec, EncodedSizeEqualsWireSizeForAllKinds) {
   // The satellite invariant: encode(msg).size() == msg.wire_size() for all
-  // four message kinds, including empty and large views.
+  // six message kinds, including empty and large views.
   Rng rng(11);
-  for (u32 kind = 0; kind < 4; ++kind) {
+  for (u32 kind = 0; kind < kNumKinds; ++kind) {
     for (const usize view_size : {usize{0}, usize{1}, usize{7}, usize{400}}) {
       const mp::WireMessage msg = make_message(rng, kind, view_size);
       EXPECT_EQ(encode_message(msg).size(), msg.wire_size())
@@ -81,7 +95,7 @@ TEST(Codec, EncodedSizeEqualsWireSizeForAllKinds) {
 
 TEST(Codec, RoundTripAllKinds) {
   Rng rng(12);
-  for (u32 kind = 0; kind < 4; ++kind) {
+  for (u32 kind = 0; kind < kNumKinds; ++kind) {
     const mp::WireMessage msg = make_message(rng, kind, 5);
     const auto decoded = decode_message(encode_message(msg));
     ASSERT_TRUE(decoded.has_value()) << "kind=" << kind;
@@ -92,7 +106,7 @@ TEST(Codec, RoundTripAllKinds) {
 TEST(Codec, FuzzRoundTripRandomMessages) {
   Rng rng(13);
   for (int trial = 0; trial < 500; ++trial) {
-    const u32 kind = static_cast<u32>(rng.uniform_below(4));
+    const u32 kind = static_cast<u32>(rng.uniform_below(kNumKinds));
     const usize view_size = static_cast<usize>(rng.uniform_below(64));
     const mp::WireMessage msg = make_message(rng, kind, view_size);
     const std::vector<u8> bytes = encode_message(msg);
@@ -114,7 +128,7 @@ TEST(Codec, FuzzLargeView) {
 
 TEST(Codec, EveryTruncationRejected) {
   Rng rng(15);
-  for (u32 kind = 0; kind < 4; ++kind) {
+  for (u32 kind = 0; kind < kNumKinds; ++kind) {
     const std::vector<u8> bytes = encode_message(make_message(rng, kind, 3));
     for (usize len = 0; len < bytes.size(); ++len) {
       EXPECT_FALSE(decode_message(std::span(bytes.data(), len)).has_value())
@@ -125,7 +139,7 @@ TEST(Codec, EveryTruncationRejected) {
 
 TEST(Codec, TrailingGarbageRejected) {
   Rng rng(16);
-  for (u32 kind = 0; kind < 4; ++kind) {
+  for (u32 kind = 0; kind < kNumKinds; ++kind) {
     std::vector<u8> bytes = encode_message(make_message(rng, kind, 2));
     bytes.push_back(0xAB);
     EXPECT_FALSE(decode_message(bytes).has_value()) << "kind=" << kind;
@@ -137,7 +151,7 @@ TEST(Codec, FuzzCorruptionNeverCrashes) {
   // the same corrupted bytes — never UB, never a crash.
   Rng rng(17);
   for (int trial = 0; trial < 500; ++trial) {
-    const u32 kind = static_cast<u32>(rng.uniform_below(4));
+    const u32 kind = static_cast<u32>(rng.uniform_below(kNumKinds));
     std::vector<u8> bytes = encode_message(make_message(rng, kind, 4));
     const usize pos = static_cast<usize>(rng.uniform_below(bytes.size()));
     bytes[pos] ^= static_cast<u8>(1 + rng.uniform_below(255));
@@ -177,6 +191,119 @@ TEST(Codec, FrontierWireSizesExact) {
     EXPECT_EQ(reply.wire_size(), 21 + 28 * size);
     EXPECT_EQ(encode_message(reply).size(), reply.wire_size());
   }
+}
+
+TEST(Codec, CheckpointWireSizesExact) {
+  // The checkpoint pair in closed form: a request is 9 bytes, a reply
+  // 45 + 8·|chains| — pinned so the restart-sync byte accounting of
+  // DESIGN.md §8 stays honest.
+  Rng rng(23);
+  const mp::WireMessage req = make_message(rng, 4, 0);
+  EXPECT_EQ(req.wire_size(), 9u);
+  EXPECT_EQ(encode_message(req).size(), req.wire_size());
+  for (const usize chains : {usize{0}, usize{1}, usize{7}, usize{333}}) {
+    const mp::WireMessage reply = make_message(rng, 5, chains);
+    EXPECT_EQ(reply.wire_size(), 45 + 8 * chains);
+    EXPECT_EQ(encode_message(reply).size(), reply.wire_size());
+  }
+}
+
+TEST(Codec, LyingChainCountRejected) {
+  Rng rng(24);
+  mp::WireMessage msg = make_message(rng, 5, 3);
+  std::vector<u8> bytes = encode_message(msg);
+  // Chain count field sits after kind + read_id + folded_below.
+  bytes[1 + 8 + 4] = 200;  // claims 200 chains, carries 3
+  EXPECT_FALSE(decode_message(bytes).has_value());
+  bytes[1 + 8 + 4] = 0;  // claims 0 chains, carries 3 (trailing garbage)
+  EXPECT_FALSE(decode_message(bytes).has_value());
+}
+
+TEST(Codec, FramedMessageMatchesAppendFrame) {
+  // The transport's single-allocation send path must emit exactly the
+  // bytes append_frame(encode_message(msg)) would.
+  Rng rng(25);
+  for (u32 kind = 0; kind < kNumKinds; ++kind) {
+    for (const usize view_size : {usize{0}, usize{5}}) {
+      const mp::WireMessage msg = make_message(rng, kind, view_size);
+      std::vector<u8> framed_twice;
+      append_frame(framed_twice, FrameKind::kMsg, encode_message(msg));
+      EXPECT_EQ(encode_framed_message(msg), framed_twice) << "kind=" << kind;
+    }
+  }
+}
+
+TEST(Codec, RecordSpanVariantsMatchEncoderPath) {
+  // encode_record_to/decode_record_from are the zero-copy twins of the
+  // Encoder/Decoder path: byte-identical output, identical parse.
+  Rng rng(26);
+  for (int trial = 0; trial < 200; ++trial) {
+    const mp::SignedAppend rec = make_record(rng, 8);
+    Encoder enc;
+    encode_record(enc, rec);
+    std::vector<u8> direct(mp::kWireRecordBytes);
+    ASSERT_EQ(encode_record_to(direct, rec), mp::kWireRecordBytes);
+    EXPECT_EQ(direct, enc.bytes());
+
+    const auto decoded = decode_record_from(direct);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(*decoded == rec);
+    EXPECT_EQ(decoded->sig, rec.sig);
+  }
+  // Short input: total rejection, like every other decode path.
+  const std::vector<u8> short_buf(mp::kWireRecordBytes - 1);
+  EXPECT_FALSE(decode_record_from(short_buf).has_value());
+}
+
+TEST(Codec, FrameViewMatchesExtractFrame) {
+  // extract_frame_view parses the same boundaries as extract_frame, byte
+  // by byte, without consuming; parity pins the zero-copy drain loop to
+  // the copying semantics the rest of the suite verifies.
+  std::vector<u8> wire;
+  const std::vector<u8> p1 = {9, 8, 7, 6};
+  const std::vector<u8> p2 = {};
+  const std::vector<u8> p3 = {1};
+  append_frame(wire, FrameKind::kMsg, p1);
+  append_frame(wire, FrameKind::kCtlReq, p2);
+  append_frame(wire, FrameKind::kHello, p3);
+
+  // Feed byte by byte through a view-based drain: kNeedMore until a frame
+  // completes, then the view borrows the payload in place.
+  std::vector<u8> buf;
+  std::vector<Frame> frames;
+  for (const u8 byte : wire) {
+    buf.push_back(byte);
+    usize offset = 0;
+    for (;;) {
+      FrameView view;
+      usize consumed = 0;
+      const std::span<const u8> rest{buf.data() + offset, buf.size() - offset};
+      if (extract_frame_view(rest, &view, &consumed) != FrameStatus::kFrame) break;
+      frames.push_back(Frame{view.kind, {view.payload.begin(), view.payload.end()}});
+      offset += consumed;
+    }
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].kind, FrameKind::kMsg);
+  EXPECT_EQ(frames[0].payload, p1);
+  EXPECT_EQ(frames[1].kind, FrameKind::kCtlReq);
+  EXPECT_TRUE(frames[1].payload.empty());
+  EXPECT_EQ(frames[2].kind, FrameKind::kHello);
+  EXPECT_EQ(frames[2].payload, p3);
+  EXPECT_TRUE(buf.empty());
+
+  // The corrupt cases reject identically to extract_frame.
+  FrameView view;
+  usize consumed = 0;
+  const std::vector<u8> oversized = {0xFF, 0xFF, 0xFF, 0xFF, 2};
+  EXPECT_EQ(extract_frame_view(oversized, &view, &consumed), FrameStatus::kCorrupt);
+  const std::vector<u8> zero_len = {0, 0, 0, 0};
+  EXPECT_EQ(extract_frame_view(zero_len, &view, &consumed), FrameStatus::kCorrupt);
+  std::vector<u8> bad_kind;
+  append_frame(bad_kind, FrameKind::kMsg, std::vector<u8>{});
+  bad_kind[4] = 99;
+  EXPECT_EQ(extract_frame_view(bad_kind, &view, &consumed), FrameStatus::kCorrupt);
 }
 
 TEST(Codec, FrontierDigestDistinguishesFrontiers) {
@@ -272,7 +399,7 @@ TEST(Codec, CtlRoundTrips) {
   reply.decision = -1;
   reply.decided_over = 9;
   for (int i = 0; i < 5; ++i) reply.view.push_back(make_record(rng, 4));
-  reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18};
   const auto rep = decode_ctl_reply(encode_ctl_reply(reply));
   ASSERT_TRUE(rep.has_value());
   EXPECT_EQ(rep->view.size(), 5u);
@@ -282,6 +409,12 @@ TEST(Codec, CtlRoundTrips) {
   EXPECT_EQ(rep->stats.read_records_sent, 10u);
   EXPECT_EQ(rep->stats.read_fallbacks, 11u);
   EXPECT_EQ(rep->stats.verify_cache_hits, 12u);
+  EXPECT_EQ(rep->stats.verify_cache_misses, 13u);
+  EXPECT_EQ(rep->stats.verify_cache_evictions, 14u);
+  EXPECT_EQ(rep->stats.records_folded, 15u);
+  EXPECT_EQ(rep->stats.live_records, 16u);
+  EXPECT_EQ(rep->stats.parked_rejects, 17u);
+  EXPECT_EQ(rep->stats.rss_kb, 18u);
   EXPECT_TRUE(rep->ok);
 
   // Truncated control frames are rejected, not misread.

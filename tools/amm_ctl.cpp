@@ -175,7 +175,9 @@ int main(int argc, char** argv) {
     if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kStats, 0, 0}, &reply) && reply.ok) {
       std::printf("stats msgs=%llu bytes=%llu view=%llu appends=%llu reconnects=%llu "
                   "auth_rejects=%llu sig_rejects=%llu reads_full=%llu reads_delta=%llu "
-                  "read_records_sent=%llu read_fallbacks=%llu verify_cache_hits=%llu\n",
+                  "read_records_sent=%llu read_fallbacks=%llu verify_cache_hits=%llu "
+                  "verify_cache_misses=%llu verify_cache_evictions=%llu records_folded=%llu "
+                  "live_records=%llu parked_rejects=%llu rss_kb=%llu\n",
                   static_cast<unsigned long long>(reply.stats.messages_sent),
                   static_cast<unsigned long long>(reply.stats.bytes_sent),
                   static_cast<unsigned long long>(reply.stats.view_size),
@@ -187,7 +189,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(reply.stats.reads_served_delta),
                   static_cast<unsigned long long>(reply.stats.read_records_sent),
                   static_cast<unsigned long long>(reply.stats.read_fallbacks),
-                  static_cast<unsigned long long>(reply.stats.verify_cache_hits));
+                  static_cast<unsigned long long>(reply.stats.verify_cache_hits),
+                  static_cast<unsigned long long>(reply.stats.verify_cache_misses),
+                  static_cast<unsigned long long>(reply.stats.verify_cache_evictions),
+                  static_cast<unsigned long long>(reply.stats.records_folded),
+                  static_cast<unsigned long long>(reply.stats.live_records),
+                  static_cast<unsigned long long>(reply.stats.parked_rejects),
+                  static_cast<unsigned long long>(reply.stats.rss_kb));
     } else {
       std::fprintf(stderr, "amm_ctl: stats failed\n");
       status = 1;

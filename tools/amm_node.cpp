@@ -5,6 +5,16 @@
 //   amm_node --id I --n N [--seed S] [--host 127.0.0.1] [--base-port 9500]
 //            [--backend auto|poll|epoll] [--verify-threads T]
 //            [--high-watermark BYTES] [--low-watermark BYTES]
+//            [--compact off|retain|summary] [--compact-lag L]
+//            [--verify-cache-cap KEYS]
+//
+// --compact selects the decided-prefix compaction mode (DESIGN.md §8):
+// `off` is the unbounded pre-compaction node, `retain` folds the stable
+// prefix into a checkpoint but keeps record bodies (cross-checkable, no
+// memory win), `summary` also erases folded bodies so resident memory
+// tracks the live suffix instead of total history. A summary node opens
+// with a checkpoint sync: it adopts the decided prefix its peers agree on
+// by quorum, then delta-reads only the live suffix.
 //
 // Node i listens on base-port+i and dials every other node. All nodes of a
 // cluster must share --n and --seed: the KeyRegistry is derived from them,
@@ -16,6 +26,8 @@
 // completes only after a majority of the cluster acked it, a read merges a
 // majority of views — so every number amm_ctl prints is a real quorum
 // result, not local state.
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <deque>
@@ -35,6 +47,22 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void handle_signal(int) { g_stop = 1; }
 
+/// Resident set size in KiB from /proc/self/statm (second field, pages).
+/// Returns 0 where procfs is unavailable — the stat is then absent, not
+/// wrong.
+amm::u64 resident_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size_pages = 0;
+  unsigned long resident_pages = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<amm::u64>(resident_pages) * static_cast<amm::u64>(page) / 1024u;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -48,10 +76,23 @@ int main(int argc, char** argv) {
   const u16 base_port = static_cast<u16>(args.get_int("base-port", 9500));
   const std::string backend = args.get_string("backend", "auto");
   const u32 verify_threads = static_cast<u32>(args.get_int("verify-threads", 0));
+  const std::string compact_mode = args.get_string("compact", "off");
   if (n == 0 || id >= n) {
     std::fprintf(stderr, "amm_node: need 0 <= --id < --n\n");
     return 2;
   }
+  if (compact_mode != "off" && compact_mode != "retain" && compact_mode != "summary") {
+    std::fprintf(stderr, "amm_node: --compact must be off|retain|summary\n");
+    return 2;
+  }
+
+  mp::AbdConfig abd_config;
+  abd_config.compact.enabled = compact_mode != "off";
+  abd_config.compact.retain_records = compact_mode != "summary";
+  abd_config.compact.lag =
+      static_cast<u32>(args.get_int("compact-lag", static_cast<i64>(abd_config.compact.lag)));
+  abd_config.verify_cache_cap = static_cast<usize>(
+      args.get_int("verify-cache-cap", static_cast<i64>(abd_config.verify_cache_cap)));
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -68,6 +109,7 @@ int main(int argc, char** argv) {
       args.get_int("high-watermark", static_cast<i64>(config.outbound_high_watermark)));
   config.outbound_low_watermark = static_cast<usize>(
       args.get_int("low-watermark", static_cast<i64>(config.outbound_low_watermark)));
+  config.verify_cache_cap = abd_config.verify_cache_cap;
   net::TcpTransport transport(config, keys, Rng::for_stream(seed, 0x6e6f6465 + id));
   if (!transport.start()) {
     std::fprintf(stderr, "amm_node: cannot listen on %s:%u\n", host.c_str(),
@@ -80,7 +122,7 @@ int main(int argc, char** argv) {
     transport.set_verify_pool(verify_pool.get());
   }
 
-  mp::AbdNode node(NodeId{id}, transport, keys);
+  mp::AbdNode node(NodeId{id}, transport, keys, abd_config);
 
   // Control-plane ops dispatch immediately: AbdNode pipelines appends
   // internally (bounded by AbdConfig::max_pipeline, excess queues in
@@ -110,6 +152,16 @@ int main(int argc, char** argv) {
     stats.read_records_sent = node.stats().read_records_sent;
     stats.read_fallbacks = node.stats().read_fallbacks;
     stats.verify_cache_hits = node.verify_cache_hits() + transport.verify_cache_hits();
+    stats.verify_cache_misses = node.verify_cache_misses() + transport.verify_cache_misses();
+    stats.verify_cache_evictions =
+        node.verify_cache_evictions() + transport.verify_cache_evictions();
+    // The checkpoint's count, not the local fold-activity counter: a
+    // restarted node that *adopted* its checkpoint folded nothing locally
+    // but still summarizes folded_records records.
+    stats.records_folded = node.checkpoint().folded_records;
+    stats.live_records = node.live_records();
+    stats.parked_rejects = node.stats().parked_rejects;
+    stats.rss_kb = resident_kb();
     return stats;
   };
 
@@ -139,10 +191,26 @@ int main(int argc, char** argv) {
           break;
         case net::CtlOp::kDecide:
           node.begin_read([&, item](const std::vector<mp::SignedAppend>& view) {
-            const net::Decision decision = net::decide_first_k(view, item.request.k);
+            // In summary mode the quorum view is the live suffix (no peer
+            // ships bodies below the reader's fold), so the folded prefix
+            // contributes through the checkpoint's vote_sum. Retain/off
+            // views still hold every body — plain decide, or the fold
+            // would double-count. k below the fold is undecidable in
+            // summary mode: the per-record resolution is gone.
+            const mp::Checkpoint& ckpt = node.checkpoint();
+            const bool summary = compact_mode == "summary" && ckpt.folded_records > 0;
+            net::Decision decision;
+            bool resolvable = true;
+            if (!summary) {
+              decision = net::decide_first_k(view, item.request.k);
+            } else if (item.request.k >= ckpt.folded_records) {
+              decision = net::decide_first_k_with_checkpoint(ckpt, view, item.request.k);
+            } else {
+              resolvable = false;
+            }
             net::CtlReply done;
             done.op = net::CtlOp::kDecide;
-            done.ok = decision.decided_over > 0;
+            done.ok = resolvable && decision.decided_over > 0;
             done.decision = decision.sign;
             done.decided_over = decision.decided_over;
             transport.send_ctl_reply(item.session, done);
@@ -168,6 +236,16 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   transport.connect_peers();
+  if (compact_mode == "summary") {
+    // A restarting summary node does not replay the folded prefix record by
+    // record: it adopts the quorum-agreed checkpoint and delta-reads only
+    // the live suffix (DESIGN.md §8). Fire-and-forget: until the sync
+    // completes the node simply serves from an older (empty) checkpoint.
+    node.begin_checkpoint_sync([id](bool ok) {
+      std::printf("amm_node: id=%u checkpoint sync %s\n", id, ok ? "adopted" : "skipped");
+      std::fflush(stdout);
+    });
+  }
   while (g_stop == 0) {
     transport.poll_once(std::chrono::milliseconds(50));
     pump_ops();

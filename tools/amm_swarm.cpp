@@ -41,6 +41,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -208,6 +209,61 @@ IdleSet open_idle(const std::string& host, const std::vector<u16>& ports, usize 
   if (!idle_conns.fds.empty())
     std::this_thread::sleep_for(std::chrono::milliseconds(300));  // lint:allow(banned-sleep)
   return idle_conns;
+}
+
+/// Blocking one-shot ctl stats probe. Post-run reporting only — the rung
+/// clock has long stopped, so a plain blocking socket (with a receive
+/// timeout as the only failure bound) is the simplest correct tool.
+std::optional<net::CtlStats> fetch_stats(const std::string& host, u16 port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* resolved_host = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, resolved_host, &addr.sin_addr) != 1) return std::nullopt;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  const timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  set_linger_reset(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  net::CtlRequest req;
+  req.op = net::CtlOp::kStats;
+  std::vector<u8> tx;
+  net::append_frame(tx, net::FrameKind::kCtlReq, net::encode_ctl_request(req));
+  usize off = 0;
+  while (off < tx.size()) {
+    const ssize_t n = ::send(fd, tx.data() + off, tx.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    off += static_cast<usize>(n);
+  }
+  std::vector<u8> rx;
+  u8 chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      ::close(fd);
+      return std::nullopt;
+    }
+    rx.insert(rx.end(), chunk, chunk + n);
+    net::Frame frame;
+    const auto status = net::extract_frame(rx, &frame);
+    if (status == net::FrameStatus::kNeedMore) continue;
+    ::close(fd);
+    if (status == net::FrameStatus::kCorrupt || frame.kind != net::FrameKind::kCtlRep) {
+      return std::nullopt;
+    }
+    const auto reply = net::decode_ctl_reply(frame.payload);
+    if (!reply || reply->op != net::CtlOp::kStats || !reply->ok) return std::nullopt;
+    return reply->stats;
+  }
 }
 
 RungResult run_rung(net::LoopBackend client_backend, const std::string& host,
@@ -435,5 +491,24 @@ int main(int argc, char** argv) {
     }
   }
   harness.emit(table, "append throughput vs concurrent writers");
+
+  // Post-run server memory probe: the §8 story measured end-to-end — how
+  // much record state each node resides with after the whole load. With
+  // compaction off live == history on every node; in summary mode live is
+  // the suffix the checkpoint has not folded. Skipped silently if a node
+  // is unreachable (the rung results above already failed in that case).
+  Table memory({"node", "live [records]", "folded", "rss [KB]", "label"});
+  bool have_stats = !ports.empty();
+  for (usize i = 0; i < ports.size() && have_stats; ++i) {
+    const std::optional<net::CtlStats> stats = fetch_stats(host, ports[i]);
+    if (!stats) {
+      have_stats = false;
+      break;
+    }
+    memory.add_row({std::to_string(i), std::to_string(stats->live_records),
+                    std::to_string(stats->records_folded), std::to_string(stats->rss_kb),
+                    label});
+  }
+  if (have_stats) harness.emit(memory, "per-node resident record state after the run");
   return all_ok ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """amm_analyze — AST-level protocol-safety analyzer for this repository.
 
-Five checks, one module each (tools/analyze/checks/), documented rule by
+Six checks, one module each (tools/analyze/checks/), documented rule by
 rule in docs/ANALYSIS.md §5:
 
   codec_bounds  codec-bounds, codec-consistency
@@ -9,6 +9,7 @@ rule in docs/ANALYSIS.md §5:
   determinism   determinism-taint
   lockorder     lock-cycle, lock-blocking
   loopblock     loop-blocking
+  growth        unbounded-growth
 
 Engines: the *internal* engine (a pure-Python C++ tokenizer + structural
 extractors, cpp_model.py) always works and is what CI gates on; when
@@ -67,6 +68,8 @@ SELF_TEST_EXPECT: Dict[str, Set[str]] = {
     "clean_lock.cpp": set(),
     "bad_loop.cpp": {"loop-blocking"},
     "clean_loop.cpp": set(),
+    "bad_growth.cpp": {"unbounded-growth"},
+    "clean_growth.cpp": set(),
 }
 
 

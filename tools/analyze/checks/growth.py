@@ -1,0 +1,189 @@
+"""unbounded-growth — message-path member containers need a shrink path.
+
+The append memory's history is logically unbounded, but a *node's* resident
+state must not be: PR-7's decided-prefix compaction (DESIGN.md §8) exists
+precisely because a container that grows on every admitted message and is
+never erased is a slow-motion out-of-memory — and, on the wire-facing path,
+a remote-triggerable one (a peer can drive the insertions). This check makes
+that invariant structural: every member container that some message handler
+inserts into must have *a* shrink site somewhere in the tree.
+
+The check:
+
+  * Handler classes — classes with a member function named ``handle``,
+    ``handle_*`` or ``on_*`` (the repo's protocol/transport handler naming:
+    ``AbdNode::handle``, ``TcpTransport::handle_frame`` ...). Only their
+    members are in scope; value types like ``Checkpoint`` or builders that
+    grow under an explicit caller-driven fold are not message handlers.
+  * Reachability — a name-level transitive closure over direct calls from
+    the handler entries, restricted to functions of the same class (the
+    same approximation loopblock.py uses), so helpers like ``admit()`` are
+    covered.
+  * Insertion — ``member.push_back/emplace_back/push_front/emplace_front/
+    insert/emplace/try_emplace(`` inside a reachable function, with one
+    optional ``[...]`` subscript between member and method
+    (``parked_[a].insert(...)``).
+  * Shrink — anywhere in the analyzed tree: ``member.erase/clear/pop_front/
+    pop_back/resize/assign/swap/extract(``, a free ``erase_if(member, ...)``
+    / ``std::erase_if(member, ...)``, or a wholesale ``member = ...``
+    reassignment. If no shrink site exists, the member's declaration is
+    flagged.
+
+Suppress with ``// analyze:allow(unbounded-growth): <why bounded>`` on the
+declaration when the growth is bounded by construction (e.g. keyed by the
+fixed cluster size) — the reason is mandatory by convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from analysis import AnalysisModel, Finding
+from cpp_model import Function, SourceFile, VarDecl, match_forward
+
+NAME = "growth"
+RULES = {
+    "unbounded-growth": "a member container inserted on a message-handler path "
+                        "must have an erase/compaction path somewhere in the tree",
+}
+
+#: Bare type tokens that declare a growable std container (the tokenizer
+#: splits ``std::vector`` into ``std`` ``::`` ``vector``, so the type regex
+#: sees the unqualified name).
+CONTAINER_RE = [r"^(vector|deque|list|map|multimap|set|multiset|unordered_map|"
+                r"unordered_multimap|unordered_set|unordered_multiset)$"]
+
+INSERT_METHODS = {"push_back", "emplace_back", "push_front", "emplace_front",
+                  "insert", "emplace", "try_emplace"}
+SHRINK_METHODS = {"erase", "clear", "pop_front", "pop_back", "resize",
+                  "shrink_to_fit", "assign", "swap", "extract"}
+
+
+def _is_entry(fn: Function) -> bool:
+    return fn.name == "handle" or fn.name.startswith("handle_") \
+        or fn.name.startswith("on_")
+
+
+def _owner_class(fn: Function) -> str:
+    if fn.qual:
+        return fn.qual[-1]
+    if fn.scope:
+        return fn.scope[-1]
+    return ""
+
+
+def _class_functions(model: AnalysisModel) -> Dict[str, List[Tuple[SourceFile, Function]]]:
+    by_class: Dict[str, List[Tuple[SourceFile, Function]]] = {}
+    for sf in model.files:
+        for fn in sf.functions:
+            cls = _owner_class(fn)
+            if cls:
+                by_class.setdefault(cls, []).append((sf, fn))
+    return by_class
+
+
+def _reachable(fns: List[Tuple[SourceFile, Function]]) -> List[Tuple[SourceFile, Function]]:
+    """Functions of one class reachable from its handler entries (by name)."""
+    names = {fn.name for _, fn in fns}
+    calls: Dict[str, Set[str]] = {}
+    for sf, fn in fns:
+        toks = sf.tokens
+        callees: Set[str] = set()
+        for j in range(fn.body[0] + 1, fn.body[1]):
+            t = toks[j]
+            if t.kind == "id" and t.value != fn.name and t.value in names \
+                    and j + 1 < fn.body[1] and toks[j + 1].value == "(":
+                callees.add(t.value)
+        calls.setdefault(fn.name, set()).update(callees)
+    live: Set[str] = {fn.name for _, fn in fns if _is_entry(fn)}
+    frontier = list(live)
+    while frontier:
+        for callee in calls.get(frontier.pop(), ()):
+            if callee not in live:
+                live.add(callee)
+                frontier.append(callee)
+    return [(sf, fn) for sf, fn in fns if fn.name in live]
+
+
+def _member_refs(sf: SourceFile, lo: int, hi: int, member: str,
+                 methods: Set[str]) -> bool:
+    """True iff tokens[lo, hi) contain ``member[...optional...].method(``."""
+    toks = sf.tokens
+    for j in range(lo, hi):
+        if toks[j].kind != "id" or toks[j].value != member:
+            continue
+        k = j + 1
+        if k < hi and toks[k].value == "[":
+            k = match_forward(toks, k, "[", "]") + 1
+        if k + 2 < hi and toks[k].value == "." and toks[k + 1].value in methods \
+                and toks[k + 2].value == "(":
+            return True
+    return False
+
+
+def _has_shrink(model: AnalysisModel, member: str) -> bool:
+    for sf in model.files:
+        toks = sf.tokens
+        n = len(toks)
+        if _member_refs(sf, 0, n, member, SHRINK_METHODS):
+            return True
+        for j in range(n - 1):
+            t = toks[j]
+            if t.kind != "id":
+                continue
+            # std::erase_if(member, ...) / erase_if(member, ...)
+            if t.value == "erase_if" and toks[j + 1].value == "(":
+                end = match_forward(toks, j + 1, "(", ")")
+                if any(toks[k].kind == "id" and toks[k].value == member
+                       for k in range(j + 2, end)):
+                    return True
+            # Wholesale reassignment replaces the contents.
+            elif t.value == member and toks[j + 1].value == "=":
+                return True
+    return False
+
+
+def _member_decls(sf: SourceFile) -> List[VarDecl]:
+    """Container declarations at class scope (locals inside inline method
+    bodies share the class scope path, so they are filtered by line)."""
+    body_lines: List[Tuple[int, int]] = []
+    for fn in sf.functions:
+        body_lines.append((sf.tokens[fn.body[0]].line, sf.tokens[fn.body[1]].line))
+    out = []
+    for decl in sf.var_decls(CONTAINER_RE):
+        if not decl.owner:
+            continue
+        if any(lo <= decl.line <= hi for lo, hi in body_lines):
+            continue
+        out.append(decl)
+    return out
+
+
+def run(model: AnalysisModel) -> List[Finding]:
+    by_class = _class_functions(model)
+    findings: List[Finding] = []
+    for sf in model.files:
+        for decl in _member_decls(sf):
+            cls = decl.owner[-1]
+            fns = by_class.get(cls)
+            if not fns or not any(_is_entry(fn) for _, fn in fns):
+                continue
+            inserted_at = None
+            for rsf, rfn in _reachable(fns):
+                if _member_refs(rsf, rfn.body[0] + 1, rfn.body[1], decl.name,
+                                INSERT_METHODS):
+                    inserted_at = f"{rfn.key()}()"
+                    break
+            if inserted_at is None:
+                continue
+            if _has_shrink(model, decl.name):
+                continue
+            if not sf.allowed(decl.line, "unbounded-growth"):
+                findings.append(Finding(
+                    sf.display, decl.line, "unbounded-growth",
+                    f"member container {cls}::{decl.name} grows in {inserted_at} "
+                    "on a message-handler path but no erase/clear/compaction "
+                    "site exists anywhere — a peer can drive it without bound. "
+                    "Add a shrink path (compaction, cap + refusal, completion "
+                    "erase), or // analyze:allow(unbounded-growth): <why bounded>"))
+    return findings

@@ -538,7 +538,24 @@ class SourceFile:
                 j = i + 1
                 type_parts = [t.value]
                 if j < len(toks) and toks[j].value == "<":
-                    close = match_forward(toks, j, "<", ">")
+                    # Not match_forward: the lexer emits the `>>` closing a
+                    # nested template (`vector<pair<A, B>>`) as one token,
+                    # which a plain "<"/">" balance never closes — it would
+                    # run to end-of-file and silently drop every later
+                    # declaration in the file.
+                    depth = 0
+                    close = j
+                    while close < len(toks):
+                        v = toks[close].value
+                        if v == "<":
+                            depth += 1
+                        elif v == ">":
+                            depth -= 1
+                        elif v == ">>":
+                            depth -= 2
+                        if depth <= 0:
+                            break
+                        close += 1
                     type_parts.extend(tok.value for tok in toks[j : close + 1])
                     j = close + 1
                 while j < len(toks) and toks[j].value in ("*", "&", "&&", "const"):

@@ -1,0 +1,31 @@
+// Seeded violation for the unbounded-growth rule: a member container that a
+// message handler inserts into with no erase/compaction site anywhere.
+// Expected finding:
+//   * Relay::seen_ — push_back in handle() (the handler entry itself),
+//     never erased, cleared or compacted; a peer drives it without bound.
+// Relay::peers_ must NOT fire: it grows only in add_peer(), which is not
+// reachable from a handler entry (operator-driven setup, not message path).
+#include <cstdint>
+#include <vector>
+
+struct Record {
+  std::uint32_t author = 0;
+  std::uint32_t seq = 0;
+};
+
+class Relay {
+ public:
+  void add_peer(std::uint32_t id) { peers_.push_back(id); }
+
+  void handle(const Record& rec) {
+    admit(rec);
+  }
+
+ private:
+  void admit(const Record& rec) {
+    seen_.push_back(rec);  // grows per message, never shrunk anywhere
+  }
+
+  std::vector<std::uint32_t> peers_;
+  std::vector<Record> seen_;
+};

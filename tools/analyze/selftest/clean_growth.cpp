@@ -1,0 +1,44 @@
+// Clean twin of bad_growth.cpp: the same handler shapes, each with a
+// legitimate bound. The rule must stay silent on all four patterns:
+//   * log_ — grows in handle() but is compacted via std::erase_if;
+//   * parked_ — subscripted insert with a matching subscripted erase;
+//   * inbox_ — completion erase (erase on ack), the pending-map pattern;
+//   * scratch_ — a *local* vector inside an inline method body shares the
+//     class scope path and must not be mistaken for a member;
+//   * allowed_ — grows with no shrink, but carries an analyze:allow with a
+//     reason (bounded by the fixed cluster size).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Record {
+  std::uint32_t author = 0;
+  std::uint32_t seq = 0;
+};
+
+class Relay {
+ public:
+  void handle(const Record& rec) {
+    log_.push_back(rec);
+    parked_[rec.author].insert(rec.seq);
+    inbox_.insert({rec.seq, rec});
+    allowed_.push_back(rec.author);
+    std::vector<Record> scratch_;
+    scratch_.push_back(rec);
+  }
+
+  void on_ack(std::uint32_t seq) { inbox_.erase(seq); }
+
+  void compact_below(std::uint32_t cut) {
+    std::erase_if(log_, [cut](const Record& r) { return r.seq < cut; });
+    parked_[0].erase(cut);
+  }
+
+ private:
+  std::vector<Record> log_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> parked_;
+  std::unordered_map<std::uint32_t, Record> inbox_;
+  // analyze:allow(unbounded-growth): one entry per cluster member, fixed at startup
+  std::vector<std::uint32_t> allowed_;
+};

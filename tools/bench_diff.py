@@ -5,7 +5,8 @@ Extracts every time- or byte-like metric from two collect_bench.py
 documents and reports per-metric ratios. A metric is:
 
   * a cell in a harness table whose column header carries a unit marker
-    ("[ms]", "[s]", "[us]", "[B]" for wire bytes), keyed by (binary, table
+    ("[ms]", "[s]", "[us]", "[B]" for wire bytes, "[KB]"/"[records]" for
+    resident memory — all lower-is-better), keyed by (binary, table
     caption, row label, column) — row label = the leading non-metric cells
     (n, history, ...);
   * a cell in a rate column (header contains "/sec", e.g. amm_swarm's
@@ -33,7 +34,7 @@ import re
 import sys
 from pathlib import Path
 
-METRIC_UNIT = re.compile(r"\[(ms|us|s|B)\]")
+METRIC_UNIT = re.compile(r"\[(ms|us|s|B|KB|records)\]")
 # Throughput columns: metrics where HIGHER is better (ratio test inverts).
 RATE_UNIT = re.compile(r"/sec\b")
 # Derived ratio columns are neither labels nor metrics.
@@ -153,6 +154,18 @@ def self_test() -> None:
                         },
                     }],
                 },
+                # A memory table: [KB]/[records] columns are metrics where
+                # growth (an unbounded container, a lost compaction) is the
+                # regression — lower is better, like time and bytes.
+                "cluster_mem_soak": {
+                    "tables": [{
+                        "caption": "resident memory vs history",
+                        "table": {
+                            "headers": ["mode", "history", "live [records]", "rss [KB]"],
+                            "rows": [["summary", "1000", f"{40.0 * ms}", f"{2000.0 * ms}"]],
+                        },
+                    }],
+                },
                 # A throughput table: /sec is a higher-is-better metric,
                 # not part of the row label.
                 "amm_swarm": {
@@ -168,19 +181,23 @@ def self_test() -> None:
         }
 
     base, base_rates = extract_metrics(doc(1.0))
-    assert len(base) == 4, f"expected 4 metrics, got {base}"
+    assert len(base) == 6, f"expected 6 metrics, got {base}"
     assert "bench_hotpath :: growth :: n=8,history=1000 :: extend [ms]" in base, base
     assert "exp_e10_abd :: steady state :: n=4,history=10000 :: delta read [B]" in base, base
+    assert ("cluster_mem_soak :: resident memory vs history :: "
+            "mode=summary,history=1000 :: rss [KB]") in base, base
+    assert ("cluster_mem_soak :: resident memory vs history :: "
+            "mode=summary,history=1000 :: live [records]") in base, base
     rate_key = "amm_swarm :: ladder :: writers=8,label=epoll :: appends/sec"
     assert base_rates == {rate_key}, base_rates
 
     _, same = compare(base, extract_metrics(doc(1.0))[0], threshold=1.5, rate_keys=base_rates)
     assert same == 0, "identical runs must not report regressions"
 
-    # ms-metrics 10x slower AND the rate 10x lower: all four must fire.
+    # ms-metrics (and memory) 10x worse AND the rate 10x lower: all must fire.
     _, slower = compare(base, extract_metrics(doc(10.0))[0], threshold=1.5,
                         rate_keys=base_rates)
-    assert slower == 4, f"injected 10x slowdown must regress all 4 metrics, got {slower}"
+    assert slower == 6, f"injected 10x slowdown must regress all 6 metrics, got {slower}"
 
     # 10x faster everywhere: the rate *rises* 10x — still zero regressions.
     _, faster = compare(base, extract_metrics(doc(0.1))[0], threshold=1.5,

@@ -19,8 +19,19 @@ Exit status 0 iff every assertion holds. Registered as the ctest/CI
 `cluster_loopback` job. With --json FILE the measured byte costs are
 written as a JSON document for the CI artifact / bench fold-in.
 
+With --mem-soak the default scenario is replaced by a memory soak
+(DESIGN.md §8): the same append load is driven twice — once with
+compaction off (the unbounded node) and once in summary mode — and each
+node 0's live-record count and resident set are sampled after every
+round. Asserts that summary-mode live records stay strictly below the
+unbounded history while compaction folds a nonzero prefix; rss_kb is
+reported for the bench fold-in (report-only — allocator noise makes a
+hard byte assertion flaky) where bench_diff treats the [KB]/[records]
+columns as lower-is-better metrics.
+
 Usage:
   tools/cluster_test.py --bin-dir build/tools [--n 5] [--appends 1000] [--json out.json]
+  tools/cluster_test.py --bin-dir build/tools --mem-soak [--json mem_soak.json]
 """
 
 from __future__ import annotations
@@ -203,6 +214,84 @@ def read_cost(cluster: Cluster, node: int) -> tuple[int, int]:
     return cluster.total_bytes() - before, len(view)
 
 
+def run_mem_soak(args) -> None:
+    """Memory-vs-history soak: identical load, compaction off vs summary."""
+    rounds = 4
+    per_round_per_node = args.appends // rounds // args.n + 1
+    modes = {
+        "off": (),
+        # lag 8 so the quantized cut activates within the soak's history
+        # (the production default of 256 records/author is sized for real
+        # deployments, not a 1k-append smoke run).
+        "summary": ("--compact", "summary", "--compact-lag", "8"),
+    }
+    samples: dict[str, list[dict[str, int]]] = {}
+    try:
+        for mode, extra in modes.items():
+            cluster = Cluster(args.bin_dir, args.n, args.seed, node_args=extra)
+            cluster.start()
+            try:
+                completed: set[int] = set()
+                value = 1
+                rows = []
+                for _ in range(rounds):
+                    value = append_batch(cluster, list(range(args.n)),
+                                         per_round_per_node, value, completed)
+                    # One quorum read settles node 0's view (read repair pulls
+                    # in records still in flight) before sampling.
+                    read_values(cluster, 0)
+                    stats = cluster.stats(0)
+                    rows.append({"history": len(completed),
+                                 "live": stats["live_records"],
+                                 "folded": stats["records_folded"],
+                                 "rss_kb": stats["rss_kb"]})
+                    log(f"mode={mode} history={len(completed)} "
+                        f"live={stats['live_records']} folded={stats['records_folded']} "
+                        f"rss_kb={stats['rss_kb']}")
+                samples[mode] = rows
+            finally:
+                cluster.stop_all()
+
+        history = samples["off"][-1]["history"]
+        off_live = samples["off"][-1]["live"]
+        sum_live = samples["summary"][-1]["live"]
+        sum_folded = samples["summary"][-1]["folded"]
+        if off_live != history:
+            raise ClusterError(f"uncompacted node holds {off_live} != history {history}")
+        if sum_folded == 0:
+            raise ClusterError("summary mode folded nothing over the whole soak")
+        if sum_live + sum_folded < history:
+            raise ClusterError(
+                f"summary node lost records: live {sum_live} + folded {sum_folded} "
+                f"< history {history}")
+        if sum_live * 2 >= off_live:
+            raise ClusterError(
+                f"summary live records {sum_live} not well below unbounded {off_live}")
+        log(f"mem soak: unbounded live={off_live}, summary live={sum_live} "
+            f"(folded {sum_folded}) at history {history}")
+
+        if args.json is not None:
+            args.json.write_text(json.dumps({
+                "title": "cluster memory soak: compaction off vs summary",
+                "tables": [{
+                    "caption": "resident memory vs history",
+                    "table": {
+                        "headers": ["mode", "round", "history",
+                                    "live [records]", "rss [KB]"],
+                        "rows": [[mode, str(r), str(row["history"]),
+                                  str(row["live"]), str(row["rss_kb"])]
+                                 for mode, rows in samples.items()
+                                 for r, row in enumerate(rows, start=1)],
+                    },
+                }],
+            }, indent=2) + "\n")
+            log(f"wrote {args.json}")
+        log("PASS")
+    except ClusterError as err:
+        log(f"FAIL: {err}")
+        sys.exit(1)
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--bin-dir", type=Path, default=Path("build/tools"))
@@ -212,9 +301,14 @@ def main() -> None:
     ap.add_argument("--seed", type=int, default=20200715)
     ap.add_argument("--json", type=Path, default=None,
                     help="write measured byte costs to this file as JSON")
+    ap.add_argument("--mem-soak", action="store_true",
+                    help="run the compaction memory soak instead of the default scenario")
     args = ap.parse_args()
     if args.n < 3:
         sys.exit("error: need --n >= 3 for a meaningful minority crash")
+    if args.mem_soak:
+        run_mem_soak(args)
+        return
 
     cluster = Cluster(args.bin_dir, args.n, args.seed)
     cluster.start()

@@ -50,7 +50,7 @@ RATE_COLUMN = "appends/sec"
 
 def run_swarm(bin_dir: Path, cluster: Cluster, scale: str, appends: int,
               window: int, idle: int, label: str) -> dict:
-    """Runs one amm_swarm invocation; returns its (single) result table."""
+    """Runs one amm_swarm invocation; returns its throughput table."""
     ports = ",".join(str(cluster.port(i)) for i in range(cluster.n))
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         out_json = Path(tmp.name)
@@ -64,9 +64,14 @@ def run_swarm(bin_dir: Path, cluster: Cluster, scale: str, appends: int,
             raise ClusterError(
                 f"amm_swarm (label={label}) -> exit {proc.returncode}: {proc.stderr.strip()}")
         doc = json.loads(out_json.read_text())
-        tables = doc.get("tables", [])
+        # amm_swarm emits the throughput ladder plus (when the post-run
+        # stats probe succeeds) a per-node resident-memory table; the
+        # ladder is the one keyed by the rate column.
+        tables = [t for t in doc.get("tables", [])
+                  if RATE_COLUMN in t.get("table", {}).get("headers", [])]
         if len(tables) != 1:
-            raise ClusterError(f"amm_swarm emitted {len(tables)} tables, expected 1")
+            raise ClusterError(
+                f"amm_swarm emitted {len(tables)} throughput tables, expected 1")
         return tables[0]
     finally:
         out_json.unlink(missing_ok=True)
