@@ -126,14 +126,92 @@ void AbdNode::admit(const SignedAppend& rec) {
     }
     parked_[a].insert(rec.seq);
     view_.push_back(rec);
+    persist(rec);
     maybe_auto_compact();
     return;
   }
   // rec.seq == watermark_[a]: the contiguous prefix grows.
   view_.push_back(rec);
+  persist(rec);
   ++watermark_[a];
   while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
   maybe_auto_compact();
+}
+
+void AbdNode::persist(const SignedAppend& rec) {
+  // During recovery the admissions *come from* the log — re-appending them
+  // would duplicate the suffix on every restart.
+  if (config_.storage == nullptr || recovering_) return;
+  config_.storage->append(rec);
+  if (config_.snapshot_interval != 0 &&
+      ++admits_since_snapshot_ >= config_.snapshot_interval) {
+    admits_since_snapshot_ = 0;
+    write_snapshot();
+  }
+}
+
+void AbdNode::write_snapshot() {
+  if (config_.storage == nullptr) return;
+  Snapshot snap;
+  snap.log_seq = config_.storage->log_seq();
+  snap.next_seq = next_seq_;
+  snap.watermarks = watermark_;
+  snap.checkpoint = checkpoint_;
+  snap.live = view_;
+  snap.sig = keys_->sign(id_, snap.digest());
+  if (config_.storage->write_snapshot(snap)) ++stats_.snapshots_written;
+}
+
+u64 AbdNode::recover_from_storage() {
+  if (config_.storage == nullptr) return 0;
+  Storage& store = *config_.storage;
+  u64 replay_from = 0;
+  if (const auto snap = store.load_snapshot()) {
+    // Only our own signature over the full contents makes a snapshot
+    // trustworthy — anything else (tamper, another node's store, registry
+    // mismatch) falls back to replaying the whole retained log, which is
+    // slower but never wrong.
+    if (snap->sig.signer == id_ && keys_->verify(snap->digest(), snap->sig) &&
+        snap->watermarks.size() == watermark_.size() && builder_.well_formed(snap->checkpoint)) {
+      checkpoint_ = snap->checkpoint;
+      watermark_ = snap->watermarks;
+      next_seq_ = snap->next_seq;
+      view_ = snap->live;
+      // parked_ is derived state: a live record at or above its author's
+      // watermark is exactly an out-of-order (parked) record.
+      // analyze:allow(determinism-taint): clears every element — order cannot matter
+      for (auto& parked : parked_) parked.clear();
+      for (const SignedAppend& rec : view_) {
+        if (rec.author.index < watermark_.size() && rec.seq >= watermark_[rec.author.index]) {
+          parked_[rec.author.index].insert(rec.seq);
+        }
+      }
+      // A snapshot written mid-admission (persist runs before the watermark
+      // advance) can hold a live record its watermark had not absorbed yet;
+      // normalize, or that author's frontier would be pinned below a record
+      // we already hold, forever.
+      for (usize a = 0; a < watermark_.size(); ++a) {
+        while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
+      }
+      replay_from = snap->log_seq;
+    }
+  }
+  recovering_ = true;
+  const u64 replayed = store.replay(replay_from, [this](const SignedAppend& rec) {
+    // The log only ever held verified records, but the disk is outside the
+    // trust boundary — recovery re-verifies exactly like the wire path.
+    if (rec.sig.signer == rec.author && verifier_.verify(rec.digest(), rec.sig)) {
+      admit(rec);
+    }
+  });
+  recovering_ = false;
+  stats_.recovery_replayed_records += replayed;
+  // Never reuse one of our own seqs: the log may hold appends whose quorum
+  // completion we never observed before the crash.
+  next_seq_ = std::max(next_seq_, watermark_[id_.index]);
+  // analyze:allow(determinism-taint): commutative max fold — order cannot matter
+  for (const u32 s : parked_[id_.index]) next_seq_ = std::max(next_seq_, s + 1);
+  return replayed;
 }
 
 void AbdNode::handle(NodeId from, const WireMessage& msg) {
@@ -316,6 +394,10 @@ void AbdNode::adopt_checkpoint(const Checkpoint& cp) {
     std::erase_if(parked_[a], [&](u32 s) { return s < cp.folded_below; });
     while (parked_[a].erase(watermark_[a]) > 0) ++watermark_[a];
   }
+  // The watermark jump is not represented by any log record: a crash after
+  // this point would replay a log with a hole below the fold. Snapshot now
+  // so the adopted checkpoint is what recovery starts from.
+  if (config_.storage != nullptr) write_snapshot();
 }
 
 ForgerNode::ForgerNode(NodeId id, NodeId victim, Transport& net, const crypto::KeyRegistry& keys)

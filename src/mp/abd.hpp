@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "mp/checkpoint.hpp"
+#include "mp/storage.hpp"
 #include "mp/transport.hpp"
 
 namespace amm::mp {
@@ -86,6 +87,13 @@ struct AbdConfig {
   CompactConfig compact;
   /// VerifyCache key capacity (0 = unbounded).
   usize verify_cache_cap = crypto::VerifyCache::kDefaultCapacity;
+  /// Durable storage seam (mp/storage.hpp); nullptr = memory-only node
+  /// (the pre-durability behavior, default for sim and tests). Not owned;
+  /// must outlive the node.
+  Storage* storage = nullptr;
+  /// Admitted records between automatic snapshots (0 = never snapshot
+  /// automatically). Only meaningful with a storage backend attached.
+  u32 snapshot_interval = 1024;
 };
 
 /// A correct node running the ABD-style simulation. Written against the
@@ -103,6 +111,8 @@ class AbdNode {
     u64 compactions = 0;         ///< compact_below calls that advanced the cut
     u64 parked_rejects = 0;      ///< admissions refused by the parked_ cap
     u64 checkpoint_syncs = 0;    ///< quorum-agreed checkpoint syncs completed
+    u64 snapshots_written = 0;   ///< snapshots persisted to the storage seam
+    u64 recovery_replayed_records = 0;  ///< log records replayed at recovery
   };
 
   AbdNode(NodeId id, Transport& net, const crypto::KeyRegistry& keys, AbdConfig config = {});
@@ -142,6 +152,22 @@ class AbdNode {
   /// poison the sync (the quorum intersection argument of Lemma 4.2).
   void begin_checkpoint_sync(std::function<void(bool)> done);
 
+  /// Restores protocol state from the attached storage backend: adopt the
+  /// newest snapshot that carries our own valid signature (a tampered or
+  /// foreign snapshot is ignored and the log replays from its start), then
+  /// replay the log suffix through the ordinary admission path. Records
+  /// appended cluster-wide while we were down are *not* here — the caller
+  /// follows up with begin_read / begin_checkpoint_sync, which now fetch
+  /// only the missed tail because the watermarks advertise everything
+  /// recovered locally. Returns the number of log records replayed; no-op
+  /// without a storage backend. Call before the first wire activity.
+  u64 recover_from_storage();
+
+  /// Persists a snapshot of the current protocol state to the storage
+  /// backend (no-op without one). Called automatically every
+  /// `snapshot_interval` admissions and after a checkpoint adoption.
+  void write_snapshot();
+
   /// Starts an M.append(value); `done` fires when > n/2 acks arrived.
   /// Up to `config.max_pipeline` appends run concurrently; beyond that the
   /// call queues and launches in order as earlier appends complete.
@@ -162,6 +188,7 @@ class AbdNode {
  private:
   void handle(NodeId from, const WireMessage& msg);
   void admit(const SignedAppend& rec);
+  void persist(const SignedAppend& rec);
   void launch_append(i64 value, std::function<void()> done);
   std::vector<FrontierEntry> make_frontier() const;
   u32 auto_cut() const;  ///< quantized (stability - lag) auto-compaction cut
@@ -198,6 +225,8 @@ class AbdNode {
   u32 next_seq_ = 0;
   u64 next_read_id_ = 0;
   u32 admits_since_compact_ = 0;
+  u32 admits_since_snapshot_ = 0;
+  bool recovering_ = false;  ///< replaying the log: admissions must not re-append
   std::vector<SignedAppend> view_;
   // Frontier bookkeeping: watermark_[a] = length of the contiguous prefix
   // of author a's records this node holds (folded prefix included); seqs

@@ -1,0 +1,81 @@
+#include "mp/storage.hpp"
+
+#include <algorithm>
+
+namespace amm::mp {
+
+const char* fsync_policy_name(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "never";
+}
+
+std::optional<FsyncPolicy> parse_fsync_policy(std::string_view name) {
+  if (name == "never") return FsyncPolicy::kNever;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "always") return FsyncPolicy::kAlways;
+  return std::nullopt;
+}
+
+u64 Snapshot::digest() const {
+  crypto::DigestBuilder b;
+  b.add(0x736e617073686f31ULL);  // domain separator ("snapsho1")
+  b.add(log_seq);
+  b.add(next_seq);
+  b.add(watermarks.size());
+  for (const u32 w : watermarks) b.add(w);
+  b.add(checkpoint.digest());
+  b.add(live.size());
+  // The live suffix binds through the same chain links CheckpointBuilder
+  // uses for the folded prefix, plus each record's digest and signature —
+  // swapping a body, reordering, or splicing in a foreign signature all
+  // change the snapshot digest and void the owner's signature over it.
+  u64 chain = 0;
+  for (const SignedAppend& rec : live) {
+    chain = CheckpointBuilder::chain_step(chain, rec.seq, rec.value);
+    b.add(rec.digest());
+    b.add((static_cast<u64>(rec.sig.signer.index) << 32) ^ rec.sig.tag);
+  }
+  b.add(chain);
+  return b.finish();
+}
+
+bool MemStorage::append(const SignedAppend& rec) {
+  log_.push_back(rec);
+  ++stats_.log_records;
+  stats_.log_bytes += kWireRecordBytes;
+  return true;
+}
+
+bool MemStorage::write_snapshot(const Snapshot& snap) {
+  snapshot_ = snap;
+  ++stats_.snapshot_count;
+  // Records below the snapshot's position are covered by it; prune them
+  // (the durable backend deletes whole segments the same way).
+  if (snap.log_seq > base_seq_) {
+    const u64 drop = std::min<u64>(snap.log_seq - base_seq_, log_.size());
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_seq_ += drop;
+    stats_.log_records -= drop;
+    stats_.log_bytes -= drop * kWireRecordBytes;
+  }
+  return true;
+}
+
+u64 MemStorage::replay(u64 from_seq, const std::function<void(const SignedAppend&)>& cb) {
+  const u64 start = std::max(from_seq, base_seq_);
+  u64 delivered = 0;
+  for (u64 pos = start; pos < base_seq_ + log_.size(); ++pos) {
+    cb(log_[static_cast<usize>(pos - base_seq_)]);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace amm::mp

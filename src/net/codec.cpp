@@ -362,32 +362,28 @@ std::optional<CtlRequest> decode_ctl_request(std::span<const u8> payload) {
   return CtlRequest{static_cast<CtlOp>(*op), *value, *k};
 }
 
+const char* ctl_status_name(CtlStatus status) {
+  switch (status) {
+    case CtlStatus::kOk: return "ok";
+    case CtlStatus::kUnavailable: return "unavailable";
+    case CtlStatus::kUndecided: return "undecided";
+    case CtlStatus::kRefusedBelowFold: return "refused_below_fold";
+  }
+  return "unknown";
+}
+
 std::vector<u8> encode_ctl_reply(const CtlReply& rep) {
   Encoder enc;
   enc.put_u8(static_cast<u8>(rep.op));
   enc.put_u8(rep.ok ? 1 : 0);
+  enc.put_u8(static_cast<u8>(rep.status));
   enc.put_i64(rep.decision);
   enc.put_u32(rep.decided_over);
   enc.put_u32(static_cast<u32>(rep.view.size()));
   for (const mp::SignedAppend& rec : rep.view) encode_record(enc, rec);
-  enc.put_u64(rep.stats.messages_sent);
-  enc.put_u64(rep.stats.bytes_sent);
-  enc.put_u64(rep.stats.view_size);
-  enc.put_u64(rep.stats.appends_issued);
-  enc.put_u64(rep.stats.reconnects);
-  enc.put_u64(rep.stats.auth_rejects);
-  enc.put_u64(rep.stats.sig_rejects);
-  enc.put_u64(rep.stats.reads_served_full);
-  enc.put_u64(rep.stats.reads_served_delta);
-  enc.put_u64(rep.stats.read_records_sent);
-  enc.put_u64(rep.stats.read_fallbacks);
-  enc.put_u64(rep.stats.verify_cache_hits);
-  enc.put_u64(rep.stats.verify_cache_misses);
-  enc.put_u64(rep.stats.verify_cache_evictions);
-  enc.put_u64(rep.stats.records_folded);
-  enc.put_u64(rep.stats.live_records);
-  enc.put_u64(rep.stats.parked_rejects);
-  enc.put_u64(rep.stats.rss_kb);
+  // One u64 per NodeStats field, in kNodeStatsFields order — the field
+  // table is the single source of truth for the stats wire layout.
+  for (const mp::NodeStatsField& f : mp::kNodeStatsFields) enc.put_u64(rep.stats.*f.member);
   return enc.take();
 }
 
@@ -395,6 +391,7 @@ std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
   Decoder dec(payload);
   const auto op = dec.get_u8();
   const auto ok = dec.get_u8();
+  const auto status = dec.get_u8();
   const auto decision = dec.get_i64();
   const auto decided_over = dec.get_u32();
   const auto count = dec.get_u32();
@@ -402,9 +399,11 @@ std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
   if (*op < static_cast<u8>(CtlOp::kAppend) || *op > static_cast<u8>(CtlOp::kKick)) {
     return std::nullopt;
   }
+  if (*status > static_cast<u8>(CtlStatus::kRefusedBelowFold)) return std::nullopt;
   CtlReply rep;
   rep.op = static_cast<CtlOp>(*op);
   rep.ok = (*ok != 0);
+  rep.status = static_cast<CtlStatus>(*status);
   rep.decision = *decision;
   rep.decided_over = *decided_over;
   if (dec.remaining() < static_cast<usize>(*count) * mp::kWireRecordBytes) return std::nullopt;
@@ -414,29 +413,12 @@ std::optional<CtlReply> decode_ctl_reply(std::span<const u8> payload) {
     if (!rec) return std::nullopt;
     rep.view.push_back(*rec);
   }
-  const auto messages = dec.get_u64();
-  const auto bytes = dec.get_u64();
-  const auto view_size = dec.get_u64();
-  const auto appends = dec.get_u64();
-  const auto reconnects = dec.get_u64();
-  const auto auth_rejects = dec.get_u64();
-  const auto sig_rejects = dec.get_u64();
-  const auto reads_full = dec.get_u64();
-  const auto reads_delta = dec.get_u64();
-  const auto read_records = dec.get_u64();
-  const auto fallbacks = dec.get_u64();
-  const auto cache_hits = dec.get_u64();
-  const auto cache_misses = dec.get_u64();
-  const auto cache_evictions = dec.get_u64();
-  const auto records_folded = dec.get_u64();
-  const auto live_records = dec.get_u64();
-  const auto parked_rejects = dec.get_u64();
-  const auto rss_kb = dec.get_u64();
+  for (const mp::NodeStatsField& f : mp::kNodeStatsFields) {
+    const auto v = dec.get_u64();
+    if (!v) return std::nullopt;
+    rep.stats.*f.member = *v;
+  }
   if (!dec.ok() || dec.remaining() != 0) return std::nullopt;
-  rep.stats = CtlStats{*messages, *bytes, *view_size, *appends, *reconnects, *auth_rejects,
-                       *sig_rejects, *reads_full, *reads_delta, *read_records, *fallbacks,
-                       *cache_hits, *cache_misses, *cache_evictions, *records_folded,
-                       *live_records, *parked_rejects, *rss_kb};
   return rep;
 }
 

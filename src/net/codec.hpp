@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "mp/node_stats.hpp"
 #include "mp/wire.hpp"
 
 namespace amm::net {
@@ -139,34 +140,27 @@ struct CtlRequest {
   u32 k = 0;      ///< kDecide: the cut size
 };
 
-struct CtlStats {
-  u64 messages_sent = 0;
-  u64 bytes_sent = 0;
-  u64 view_size = 0;
-  u64 appends_issued = 0;
-  u64 reconnects = 0;
-  u64 auth_rejects = 0;
-  u64 sig_rejects = 0;
-  u64 reads_served_full = 0;    ///< read requests answered with a full view
-  u64 reads_served_delta = 0;   ///< read requests answered above a frontier
-  u64 read_records_sent = 0;    ///< records shipped in this node's read replies
-  u64 read_fallbacks = 0;       ///< this node's delta reads that fell back to full
-  u64 verify_cache_hits = 0;    ///< signature checks answered by the verify cache
-  u64 verify_cache_misses = 0;  ///< cache probes that went to the registry
-  u64 verify_cache_evictions = 0;  ///< cache keys aged out by rotation
-  u64 records_folded = 0;       ///< records folded into the checkpoint
-  u64 live_records = 0;         ///< record bodies currently held (view size)
-  u64 parked_rejects = 0;       ///< admissions refused by the parked cap
-  u64 rss_kb = 0;               ///< resident set size of the node process, KiB
+/// Machine-readable failure reason carried by every CtlReply, so scripts
+/// can tell a refusal from a mere not-yet (amm_ctl maps these to distinct
+/// exit codes and prints `reason=<name>`).
+enum class CtlStatus : u8 {
+  kOk = 0,
+  kUnavailable = 1,      ///< op could not run (empty view, node not ready)
+  kUndecided = 2,        ///< kDecide: no side reached the k-cut yet
+  kRefusedBelowFold = 3, ///< kDecide: cut lies below the compaction fold
 };
+
+/// Stable lower-case name for a CtlStatus (`ok`, `unavailable`, ...).
+const char* ctl_status_name(CtlStatus status);
 
 struct CtlReply {
   CtlOp op = CtlOp::kStats;
   bool ok = false;
+  CtlStatus status = CtlStatus::kUnavailable;  ///< kOk iff ok
   i64 decision = 0;                      ///< kDecide: ±1
   u32 decided_over = 0;                  ///< kDecide: records considered
   std::vector<mp::SignedAppend> view;    ///< kRead: the merged view
-  CtlStats stats;                        ///< kStats
+  mp::NodeStats stats;                   ///< kStats (mp/node_stats.hpp)
 };
 
 std::vector<u8> encode_ctl_request(const CtlRequest& req);

@@ -1,0 +1,64 @@
+// On-disk framing of the durable append log (DESIGN.md §10).
+//
+// Segment files are a flat run of record frames:
+//
+//   [u32 len][u32 crc32][payload]          (little-endian throughout)
+//
+// where `len` is the payload size (always mp::kWireRecordBytes — the
+// payload is one net/codec-encoded SignedAppend) and `crc32` covers the
+// payload. A frame that is truncated, length-corrupt, CRC-corrupt or
+// undecodable marks the *torn tail*: everything from its offset on is
+// discarded (truncated in the last segment, fatal corruption elsewhere).
+//
+// Snapshot files are one framed blob:
+//
+//   [u32 magic][u32 len][u32 crc32][payload]
+//
+// with the payload laid out by encode_snapshot below (the checkpoint is
+// the last field because net/codec's decode_checkpoint requires it to be
+// the tail of whatever carries it).
+//
+// decode/extract functions are total: corrupt input yields kTorn/nullopt,
+// never UB — fuzzed at every truncation offset by
+// tests/storage/file_log_test.cpp, the same discipline as the wire codecs.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mp/storage.hpp"
+#include "net/codec.hpp"
+
+namespace amm::storage {
+
+inline constexpr u32 kSnapshotMagic = 0x414d4d53;  // "AMMS"
+inline constexpr usize kLogFrameHeaderBytes = 4 + 4;  // len + crc32
+inline constexpr usize kLogRecordFrameBytes = kLogFrameHeaderBytes + mp::kWireRecordBytes;
+inline constexpr usize kSnapshotHeaderBytes = 4 + kLogFrameHeaderBytes;  // magic + len + crc32
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+u32 crc32(std::span<const u8> bytes);
+
+/// Appends one framed record to `out`.
+void append_record_frame(std::vector<u8>& out, const mp::SignedAppend& rec);
+
+enum class ScanStatus : u8 {
+  kRecord,  ///< one complete, CRC-valid record extracted
+  kTorn,    ///< truncation or corruption — the tail starts here
+};
+
+/// Extracts the next framed record from the front of `buf`. On kRecord,
+/// `*out` holds the record and `*consumed` the frame size; on kTorn
+/// nothing is consumed and every byte from the front of `buf` on belongs
+/// to the torn tail.
+ScanStatus extract_record_frame(std::span<const u8> buf, mp::SignedAppend* out, usize* consumed);
+
+/// Encodes a snapshot file image (magic + len + crc + payload).
+std::vector<u8> encode_snapshot(const mp::Snapshot& snap);
+
+/// Decodes a snapshot file image; nullopt on any truncation, magic, CRC or
+/// shape mismatch. Signature validation is the caller's job.
+std::optional<mp::Snapshot> decode_snapshot(std::span<const u8> bytes);
+
+}  // namespace amm::storage

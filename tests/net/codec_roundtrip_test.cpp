@@ -235,19 +235,22 @@ TEST(CodecRoundTrip, CtlReplyEveryTruncationOffsetRejected) {
     CtlReply reply;
     reply.op = CtlOp::kRead;
     reply.ok = true;
+    reply.status = CtlStatus::kOk;
     reply.decision = 1;
     reply.decided_over = 4;
     for (usize i = 0; i < view_size; ++i) reply.view.push_back(make_record(rng));
-    reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18};
+    for (usize i = 0; i < mp::kNodeStatsFieldCount; ++i) {
+      reply.stats.*mp::kNodeStatsFields[i].member = i + 1;
+    }
 
     const std::vector<u8> bytes = encode_ctl_reply(reply);
     const auto decoded = decode_ctl_reply(bytes);
     ASSERT_TRUE(decoded.has_value());
     EXPECT_EQ(decoded->view.size(), view_size);
     EXPECT_EQ(decoded->stats.verify_cache_hits, 12u);
-    // Pin the last CtlStats field: a field appended to the struct but not
-    // the codec shows up here as a dropped 18.
-    EXPECT_EQ(decoded->stats.rss_kb, 18u);
+    // Pin the last NodeStats field: a field appended to the struct but not
+    // the field table shows up here as a dropped value.
+    EXPECT_EQ(decoded->stats.recovery_replayed_records, mp::kNodeStatsFieldCount);
     expect_prefix_and_suffix_rejection(
         bytes, [](std::span<const u8> b) { return decode_ctl_reply(b); }, "decode_ctl_reply");
   }

@@ -396,31 +396,47 @@ TEST(Codec, CtlRoundTrips) {
   CtlReply reply;
   reply.op = CtlOp::kRead;
   reply.ok = true;
+  reply.status = CtlStatus::kOk;
   reply.decision = -1;
   reply.decided_over = 9;
   for (int i = 0; i < 5; ++i) reply.view.push_back(make_record(rng, 4));
-  reply.stats = CtlStats{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18};
+  // Distinct value per stats field, assigned through the same field table
+  // the codec serializes from.
+  for (usize i = 0; i < mp::kNodeStatsFieldCount; ++i) {
+    reply.stats.*mp::kNodeStatsFields[i].member = i + 1;
+  }
   const auto rep = decode_ctl_reply(encode_ctl_reply(reply));
   ASSERT_TRUE(rep.has_value());
   EXPECT_EQ(rep->view.size(), 5u);
+  for (usize i = 0; i < mp::kNodeStatsFieldCount; ++i) {
+    EXPECT_EQ(rep->stats.*mp::kNodeStatsFields[i].member, i + 1)
+        << "field " << mp::kNodeStatsFields[i].name;
+  }
+  // A few spot checks by name, so a scrambled field table cannot pass.
   EXPECT_EQ(rep->stats.reconnects, 5u);
-  EXPECT_EQ(rep->stats.reads_served_full, 8u);
-  EXPECT_EQ(rep->stats.reads_served_delta, 9u);
-  EXPECT_EQ(rep->stats.read_records_sent, 10u);
-  EXPECT_EQ(rep->stats.read_fallbacks, 11u);
-  EXPECT_EQ(rep->stats.verify_cache_hits, 12u);
-  EXPECT_EQ(rep->stats.verify_cache_misses, 13u);
-  EXPECT_EQ(rep->stats.verify_cache_evictions, 14u);
-  EXPECT_EQ(rep->stats.records_folded, 15u);
-  EXPECT_EQ(rep->stats.live_records, 16u);
-  EXPECT_EQ(rep->stats.parked_rejects, 17u);
   EXPECT_EQ(rep->stats.rss_kb, 18u);
+  EXPECT_EQ(rep->stats.log_bytes, 19u);
+  EXPECT_EQ(rep->stats.snapshot_count, 20u);
+  EXPECT_EQ(rep->stats.recovery_replayed_records, 21u);
   EXPECT_TRUE(rep->ok);
+  EXPECT_EQ(rep->status, CtlStatus::kOk);
+
+  // The machine-readable failure reason survives the roundtrip.
+  reply.ok = false;
+  reply.status = CtlStatus::kRefusedBelowFold;
+  const auto refused = decode_ctl_reply(encode_ctl_reply(reply));
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(refused->status, CtlStatus::kRefusedBelowFold);
 
   // Truncated control frames are rejected, not misread.
   const std::vector<u8> bytes = encode_ctl_reply(reply);
   EXPECT_FALSE(decode_ctl_reply(std::span(bytes.data(), bytes.size() - 1)).has_value());
   EXPECT_FALSE(decode_ctl_request(std::span(bytes.data(), usize{2})).has_value());
+
+  // An out-of-vocabulary status byte is corruption, not a default.
+  std::vector<u8> bad_status = bytes;
+  bad_status[2] = 200;
+  EXPECT_FALSE(decode_ctl_reply(bad_status).has_value());
 }
 
 }  // namespace

@@ -25,7 +25,7 @@
 #include <string>
 
 #include "net/codec.hpp"
-#include "support/cli.hpp"
+#include "tools/cli.hpp"
 
 namespace {
 
@@ -106,10 +106,31 @@ bool roundtrip(int fd, std::vector<u8>& rx, const net::CtlRequest& request,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliArgs args(argc, argv);
-  const std::string host = args.get_string("host", "127.0.0.1");
-  const u16 port = static_cast<u16>(args.get_int("port", 9500));
-  const std::string op = args.get_string("op", "stats");
+  std::string host = "127.0.0.1";
+  u16 port = 9500;
+  std::string op = "stats";
+  i64 value = 1;
+  i64 count = 1;
+  i64 window = 1;
+  u32 k = 1;
+  tools::OptionSet opts("amm_ctl", "submit one operation to a running amm_node");
+  opts.add_string("host", &host, "node host");
+  opts.add_u16("port", &port, "node control port");
+  opts.add_enum("op", &op, {"append", "read", "decide", "stats", "kick"}, "operation");
+  opts.add_i64("value", &value, "append: first value");
+  opts.add_i64("count", &count, "append: number of appends (values value..value+count-1)");
+  opts.add_i64("window", &window, "append: appends kept in flight on the connection");
+  opts.add_u32("k", &k, "decide: the k-cut size");
+  switch (opts.parse(argc, argv)) {
+    case tools::ParseStatus::kHelp:
+      opts.print_help(stdout);
+      return 0;
+    case tools::ParseStatus::kError:
+      std::fprintf(stderr, "amm_ctl: %s\n", opts.error().c_str());
+      return 2;
+    case tools::ParseStatus::kOk:
+      break;
+  }
 
   const int fd = dial(host, port);
   if (fd < 0) {
@@ -122,11 +143,9 @@ int main(int argc, char** argv) {
   net::CtlReply reply;
   std::vector<u8> rx;  // shared receive buffer; replies can arrive batched
   if (op == "append") {
-    const i64 value = args.get_int("value", 1);
-    const i64 count = args.get_int("count", 1);
     // --window W keeps up to W appends in flight on the one connection;
     // the node's AbdNode pipelines them (W=1 is the old strict lock-step).
-    const i64 window = std::max<i64>(1, args.get_int("window", 1));
+    window = std::max<i64>(1, window);
     i64 sent = 0;
     i64 completed = 0;
     bool failed = false;
@@ -163,39 +182,29 @@ int main(int argc, char** argv) {
       status = 1;
     }
   } else if (op == "decide") {
-    const u32 k = static_cast<u32>(args.get_int("k", 1));
     if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kDecide, 0, k}, &reply) && reply.ok) {
       std::printf("decision=%+lld over=%u\n", static_cast<long long>(reply.decision),
                   reply.decided_over);
     } else {
-      std::fprintf(stderr, "amm_ctl: decide failed (empty view?)\n");
-      status = 1;
+      // Machine-readable refusal vs not-yet: a cut below the compaction
+      // fold can never resolve (exit 3, scripts must not retry), while an
+      // undecided cut simply has not filled yet (exit 1, retry later).
+      const char* reason = net::ctl_status_name(reply.status);
+      std::printf("decide failed reason=%s\n", reason);
+      std::fprintf(stderr, "amm_ctl: decide failed reason=%s\n", reason);
+      status = reply.status == net::CtlStatus::kRefusedBelowFold ? 3 : 1;
     }
   } else if (op == "stats") {
     if (roundtrip(fd, rx, net::CtlRequest{net::CtlOp::kStats, 0, 0}, &reply) && reply.ok) {
-      std::printf("stats msgs=%llu bytes=%llu view=%llu appends=%llu reconnects=%llu "
-                  "auth_rejects=%llu sig_rejects=%llu reads_full=%llu reads_delta=%llu "
-                  "read_records_sent=%llu read_fallbacks=%llu verify_cache_hits=%llu "
-                  "verify_cache_misses=%llu verify_cache_evictions=%llu records_folded=%llu "
-                  "live_records=%llu parked_rejects=%llu rss_kb=%llu\n",
-                  static_cast<unsigned long long>(reply.stats.messages_sent),
-                  static_cast<unsigned long long>(reply.stats.bytes_sent),
-                  static_cast<unsigned long long>(reply.stats.view_size),
-                  static_cast<unsigned long long>(reply.stats.appends_issued),
-                  static_cast<unsigned long long>(reply.stats.reconnects),
-                  static_cast<unsigned long long>(reply.stats.auth_rejects),
-                  static_cast<unsigned long long>(reply.stats.sig_rejects),
-                  static_cast<unsigned long long>(reply.stats.reads_served_full),
-                  static_cast<unsigned long long>(reply.stats.reads_served_delta),
-                  static_cast<unsigned long long>(reply.stats.read_records_sent),
-                  static_cast<unsigned long long>(reply.stats.read_fallbacks),
-                  static_cast<unsigned long long>(reply.stats.verify_cache_hits),
-                  static_cast<unsigned long long>(reply.stats.verify_cache_misses),
-                  static_cast<unsigned long long>(reply.stats.verify_cache_evictions),
-                  static_cast<unsigned long long>(reply.stats.records_folded),
-                  static_cast<unsigned long long>(reply.stats.live_records),
-                  static_cast<unsigned long long>(reply.stats.parked_rejects),
-                  static_cast<unsigned long long>(reply.stats.rss_kb));
+      // One key=value pair per NodeStats field, named and ordered by the
+      // field table — amm_node, this printer, and cluster_test.py's parser
+      // all read the same declaration.
+      std::printf("stats");
+      for (const mp::NodeStatsField& field : mp::kNodeStatsFields) {
+        std::printf(" %s=%llu", field.name,
+                    static_cast<unsigned long long>(reply.stats.*field.member));
+      }
+      std::printf("\n");
     } else {
       std::fprintf(stderr, "amm_ctl: stats failed\n");
       status = 1;

@@ -7,6 +7,19 @@
 //            [--high-watermark BYTES] [--low-watermark BYTES]
 //            [--compact off|retain|summary] [--compact-lag L]
 //            [--verify-cache-cap KEYS]
+//            [--store-dir D] [--fsync never|interval|always]
+//            [--fsync-interval A] [--snapshot-interval A] [--segment-bytes B]
+//
+// (Full option reference: amm_node --help; tools/cli.hpp declares the
+// vocabulary once and generates parsing, validation and help from it.)
+//
+// --store-dir attaches the durable backend (storage::FileLog, DESIGN.md
+// §10): every admitted record is appended to a CRC-framed segment log and
+// the node's protocol state is snapshotted periodically. On restart with a
+// populated store the node first recovers locally — newest self-signed
+// snapshot, then log replay — and only fetches the tail it missed from the
+// cluster, via the same delta-read/checkpoint-sync machinery a live node
+// uses. Restart wire cost is O(missed records), not O(history).
 //
 // --compact selects the decided-prefix compaction mode (DESIGN.md §8):
 // `off` is the unbounded pre-compaction node, `retain` folds the stable
@@ -38,8 +51,9 @@
 #include "mp/abd.hpp"
 #include "net/decision.hpp"
 #include "net/transport.hpp"
-#include "support/cli.hpp"
+#include "storage/file_log.hpp"
 #include "support/thread_pool.hpp"
+#include "tools/cli.hpp"
 
 namespace {
 
@@ -68,31 +82,63 @@ amm::u64 resident_kb() {
 int main(int argc, char** argv) {
   using namespace amm;
 
-  const CliArgs args(argc, argv);
-  const u32 n = static_cast<u32>(args.get_int("n", 5));
-  const u32 id = static_cast<u32>(args.get_int("id", 0));
-  const u64 seed = static_cast<u64>(args.get_int("seed", 20200715));
-  const std::string host = args.get_string("host", "127.0.0.1");
-  const u16 base_port = static_cast<u16>(args.get_int("base-port", 9500));
-  const std::string backend = args.get_string("backend", "auto");
-  const u32 verify_threads = static_cast<u32>(args.get_int("verify-threads", 0));
-  const std::string compact_mode = args.get_string("compact", "off");
+  tools::NodeConfig cli;
+  {
+    // Seed the deep-config defaults before add_node_options captures them
+    // for --help, so help and behavior cannot drift apart.
+    const mp::AbdConfig abd_defaults;
+    cli.compact_lag = abd_defaults.compact.lag;
+    cli.verify_cache_cap = abd_defaults.verify_cache_cap;
+    cli.snapshot_interval = abd_defaults.snapshot_interval;
+    const net::TransportConfig transport_defaults;
+    cli.high_watermark = transport_defaults.outbound_high_watermark;
+    cli.low_watermark = transport_defaults.outbound_low_watermark;
+  }
+  tools::OptionSet opts("amm_node", "one append-memory node (ABD quorum protocol over TCP)");
+  tools::add_node_options(opts, &cli);
+  switch (opts.parse(argc, argv)) {
+    case tools::ParseStatus::kHelp:
+      opts.print_help(stdout);
+      return 0;
+    case tools::ParseStatus::kError:
+      std::fprintf(stderr, "amm_node: %s\n", opts.error().c_str());
+      return 2;
+    case tools::ParseStatus::kOk:
+      break;
+  }
+  const u32 n = cli.n;
+  const u32 id = cli.id;
+  const u64 seed = cli.seed;
+  const std::string host = cli.host;
+  const u16 base_port = cli.base_port;
+  const std::string compact_mode = cli.compact;
   if (n == 0 || id >= n) {
     std::fprintf(stderr, "amm_node: need 0 <= --id < --n\n");
-    return 2;
-  }
-  if (compact_mode != "off" && compact_mode != "retain" && compact_mode != "summary") {
-    std::fprintf(stderr, "amm_node: --compact must be off|retain|summary\n");
     return 2;
   }
 
   mp::AbdConfig abd_config;
   abd_config.compact.enabled = compact_mode != "off";
   abd_config.compact.retain_records = compact_mode != "summary";
-  abd_config.compact.lag =
-      static_cast<u32>(args.get_int("compact-lag", static_cast<i64>(abd_config.compact.lag)));
-  abd_config.verify_cache_cap = static_cast<usize>(
-      args.get_int("verify-cache-cap", static_cast<i64>(abd_config.verify_cache_cap)));
+  abd_config.compact.lag = cli.compact_lag;
+  abd_config.verify_cache_cap = static_cast<usize>(cli.verify_cache_cap);
+  abd_config.snapshot_interval = cli.snapshot_interval;
+
+  std::unique_ptr<storage::FileLog> store;
+  if (!cli.store_dir.empty()) {
+    storage::FileLogConfig store_config;
+    store_config.dir = cli.store_dir;
+    store_config.fsync = *mp::parse_fsync_policy(cli.fsync);  // vocabulary enforced by parse()
+    store_config.fsync_interval = cli.fsync_interval;
+    store_config.segment_bytes = static_cast<usize>(cli.segment_bytes);
+    store = std::make_unique<storage::FileLog>(store_config);
+    if (!store->ok()) {
+      std::fprintf(stderr, "amm_node: cannot open --store-dir %s: %s\n", cli.store_dir.c_str(),
+                   store->error().c_str());
+      return 2;
+    }
+    abd_config.storage = store.get();
+  }
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -101,14 +147,12 @@ int main(int argc, char** argv) {
   crypto::KeyRegistry keys(n, seed);
   net::TransportConfig config;
   config.self = NodeId{id};
-  config.backend = net::parse_loop_backend(backend);
+  config.backend = net::parse_loop_backend(cli.backend);
   for (u32 i = 0; i < n; ++i) {
     config.peers.push_back(net::Endpoint{host, static_cast<u16>(base_port + i)});
   }
-  config.outbound_high_watermark = static_cast<usize>(
-      args.get_int("high-watermark", static_cast<i64>(config.outbound_high_watermark)));
-  config.outbound_low_watermark = static_cast<usize>(
-      args.get_int("low-watermark", static_cast<i64>(config.outbound_low_watermark)));
+  config.outbound_high_watermark = static_cast<usize>(cli.high_watermark);
+  config.outbound_low_watermark = static_cast<usize>(cli.low_watermark);
   config.verify_cache_cap = abd_config.verify_cache_cap;
   net::TcpTransport transport(config, keys, Rng::for_stream(seed, 0x6e6f6465 + id));
   if (!transport.start()) {
@@ -116,6 +160,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned>(base_port + id));
     return 2;
   }
+  const u32 verify_threads = cli.verify_threads;
   std::unique_ptr<ThreadPool> verify_pool;
   if (verify_threads > 0) {
     verify_pool = std::make_unique<ThreadPool>(verify_threads);
@@ -123,6 +168,12 @@ int main(int argc, char** argv) {
   }
 
   mp::AbdNode node(NodeId{id}, transport, keys, abd_config);
+
+  // Local recovery runs before any wire activity: snapshot + log replay
+  // rebuild the pre-crash view, and the advanced watermarks then make the
+  // follow-up read below a pure delta fetch.
+  u64 replayed = 0;
+  if (store != nullptr) replayed = node.recover_from_storage();
 
   // Control-plane ops dispatch immediately: AbdNode pipelines appends
   // internally (bounded by AbdConfig::max_pipeline, excess queues in
@@ -139,7 +190,7 @@ int main(int argc, char** argv) {
   });
 
   const auto fill_stats = [&] {
-    net::CtlStats stats;
+    mp::NodeStats stats;
     stats.messages_sent = transport.messages_sent();
     stats.bytes_sent = transport.bytes_sent();
     stats.view_size = node.local_view().size();
@@ -162,6 +213,11 @@ int main(int argc, char** argv) {
     stats.live_records = node.live_records();
     stats.parked_rejects = node.stats().parked_rejects;
     stats.rss_kb = resident_kb();
+    if (store != nullptr) {
+      stats.log_bytes = store->stats().log_bytes;
+      stats.snapshot_count = store->stats().snapshot_count;
+    }
+    stats.recovery_replayed_records = node.stats().recovery_replayed_records;
     return stats;
   };
 
@@ -177,6 +233,7 @@ int main(int argc, char** argv) {
             net::CtlReply done;
             done.op = net::CtlOp::kAppend;
             done.ok = true;
+            done.status = net::CtlStatus::kOk;
             transport.send_ctl_reply(item.session, done);
           });
           break;
@@ -185,6 +242,7 @@ int main(int argc, char** argv) {
             net::CtlReply done;
             done.op = net::CtlOp::kRead;
             done.ok = true;
+            done.status = net::CtlStatus::kOk;
             done.view = view;
             transport.send_ctl_reply(item.session, done);
           });
@@ -211,6 +269,12 @@ int main(int argc, char** argv) {
             net::CtlReply done;
             done.op = net::CtlOp::kDecide;
             done.ok = resolvable && decision.decided_over > 0;
+            // Distinct machine-readable reasons: a cut below the fold is a
+            // *refusal* (re-asking cannot help), no k-cut yet is a *not
+            // yet* (amm_ctl exits 3 vs 1 accordingly).
+            done.status = done.ok          ? net::CtlStatus::kOk
+                          : resolvable     ? net::CtlStatus::kUndecided
+                                           : net::CtlStatus::kRefusedBelowFold;
             done.decision = decision.sign;
             done.decided_over = decision.decided_over;
             transport.send_ctl_reply(item.session, done);
@@ -218,12 +282,14 @@ int main(int argc, char** argv) {
           break;
         case net::CtlOp::kStats:
           reply.ok = true;
+          reply.status = net::CtlStatus::kOk;
           reply.stats = fill_stats();
           transport.send_ctl_reply(item.session, reply);
           break;
         case net::CtlOp::kKick:
           transport.kick_outbound();
           reply.ok = true;
+          reply.status = net::CtlStatus::kOk;
           transport.send_ctl_reply(item.session, reply);
           break;
       }
@@ -234,8 +300,24 @@ int main(int argc, char** argv) {
               transport.backend_name(), host.c_str(),
               static_cast<unsigned>(transport.listen_port()));
   std::fflush(stdout);
+  if (store != nullptr) {
+    // After the "listening on" line — cluster harnesses gate readiness on
+    // that line being first on stdout.
+    std::printf("amm_node: id=%u recovered replayed=%llu snapshot=%s view=%zu torn_tail=%llu\n",
+                id, static_cast<unsigned long long>(replayed),
+                store->load_snapshot() ? "yes" : "no", node.local_view().size(),
+                static_cast<unsigned long long>(store->stats().torn_tail_bytes));
+    std::fflush(stdout);
+  }
 
   transport.connect_peers();
+  if (store != nullptr) {
+    // Fetch the tail the cluster appended while we were down. The
+    // recovered watermarks ride in the read frontier, so responders ship
+    // only records we miss — the delta-only restart path ISSUE/E18
+    // measures. Fire-and-forget like the checkpoint sync below.
+    node.begin_read([](const std::vector<mp::SignedAppend>&) {});
+  }
   if (compact_mode == "summary") {
     // A restarting summary node does not replay the folded prefix record by
     // record: it adopts the quorum-agreed checkpoint and delta-reads only

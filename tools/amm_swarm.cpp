@@ -50,6 +50,7 @@
 #include "net/codec.hpp"
 #include "net/event_loop.hpp"
 #include "support/table.hpp"
+#include "tools/cli.hpp"
 
 namespace {
 
@@ -214,7 +215,7 @@ IdleSet open_idle(const std::string& host, const std::vector<u16>& ports, usize 
 /// Blocking one-shot ctl stats probe. Post-run reporting only — the rung
 /// clock has long stopped, so a plain blocking socket (with a receive
 /// timeout as the only failure bound) is the simplest correct tool.
-std::optional<net::CtlStats> fetch_stats(const std::string& host, u16 port) {
+std::optional<mp::NodeStats> fetch_stats(const std::string& host, u16 port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -453,20 +454,58 @@ RungResult run_rung(net::LoopBackend client_backend, const std::string& host,
 
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
-  exp::Harness harness(argc, argv, "amm_swarm: client-swarm append throughput", 1);
 
-  const u32 n = static_cast<u32>(harness.args.get_int("n", 3));
-  const std::string host = harness.args.get_string("host", "127.0.0.1");
-  const u16 base_port = static_cast<u16>(harness.args.get_int("base-port", 9500));
-  const std::vector<u16> ports = parse_ports(harness.args.get_string("ports", ""), base_port, n);
-  const std::vector<usize> scale =
-      parse_scale(harness.args.get_string("scale", "8,32,128,512"));
-  const u32 appends = static_cast<u32>(harness.args.get_int("appends", 50));
-  const u32 window = static_cast<u32>(harness.args.get_int("window", 4));
-  const usize idle = static_cast<usize>(harness.args.get_int("idle", 0));
-  const std::string label = harness.args.get_string("label", "default");
-  const net::LoopBackend client_backend =
-      net::parse_loop_backend(harness.args.get_string("client-loop", "auto"));
+  // Options are declared (and validated, with --help and unknown-flag
+  // rejection) through tools::OptionSet; exp::Harness then re-reads its own
+  // common flags (--seed/--trials/--threads/--csv/--json) from the same
+  // argv, so both parsers see one consistent vocabulary.
+  u32 n = 3;
+  std::string host = "127.0.0.1";
+  u16 base_port = 9500;
+  std::string ports_list;
+  std::string scale_list = "8,32,128,512";
+  u32 appends = 50;
+  u32 window = 4;
+  u64 idle_count = 0;
+  std::string label = "default";
+  std::string client_loop = "auto";
+  u64 trials = 1;
+  u64 seed = 20200715;
+  u32 threads = 0;
+  bool csv = false;
+  std::string json_path;
+  tools::OptionSet opts("amm_swarm", "client-swarm append throughput against amm_node");
+  opts.add_u32("n", &n, "number of cluster nodes to spread connections over");
+  opts.add_string("host", &host, "cluster host");
+  opts.add_u16("base-port", &base_port, "node i listens on base-port+i");
+  opts.add_string("ports", &ports_list, "explicit comma-separated node ports (overrides base-port)");
+  opts.add_string("scale", &scale_list, "comma-separated rungs of concurrent writers");
+  opts.add_u32("appends", &appends, "appends per connection");
+  opts.add_u32("window", &window, "appends in flight per connection");
+  opts.add_u64("idle", &idle_count, "standing never-written connections held for the run");
+  opts.add_string("label", &label, "label echoed into result rows");
+  opts.add_enum("client-loop", &client_loop, {"auto", "poll", "epoll"}, "swarm-side event loop");
+  opts.add_u64("trials", &trials, "accepted for harness compatibility");
+  opts.add_u64("seed", &seed, "harness seed echoed into --json output");
+  opts.add_u32("threads", &threads, "harness worker threads (0 = hardware)");
+  opts.add_flag("csv", &csv, "emit CSV instead of the ASCII table");
+  opts.add_string("json", &json_path, "additionally write emitted tables to this JSON file");
+  switch (opts.parse(argc, argv)) {
+    case tools::ParseStatus::kHelp:
+      opts.print_help(stdout);
+      return 0;
+    case tools::ParseStatus::kError:
+      std::fprintf(stderr, "amm_swarm: %s\n", opts.error().c_str());
+      return 2;
+    case tools::ParseStatus::kOk:
+      break;
+  }
+
+  exp::Harness harness(argc, argv, "amm_swarm: client-swarm append throughput", 1);
+  const std::vector<u16> ports = parse_ports(ports_list, base_port, n);
+  const std::vector<usize> scale = parse_scale(scale_list);
+  const usize idle = static_cast<usize>(idle_count);
+  const net::LoopBackend client_backend = net::parse_loop_backend(client_loop);
   if (ports.empty() || scale.empty() || appends == 0 || window == 0) {
     std::fprintf(stderr, "amm_swarm: need nonempty --ports/--scale and positive --appends/--window\n");
     return 2;
@@ -500,7 +539,7 @@ int main(int argc, char** argv) {
   Table memory({"node", "live [records]", "folded", "rss [KB]", "label"});
   bool have_stats = !ports.empty();
   for (usize i = 0; i < ports.size() && have_stats; ++i) {
-    const std::optional<net::CtlStats> stats = fetch_stats(host, ports[i]);
+    const std::optional<mp::NodeStats> stats = fetch_stats(host, ports[i]);
     if (!stats) {
       have_stats = false;
       break;

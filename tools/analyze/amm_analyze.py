@@ -60,6 +60,8 @@ SELF_TEST_EXPECT: Dict[str, Set[str]] = {
     "clean_codec_pair.cpp": set(),
     "bad_codec_kinds.cpp": {"codec-consistency", "codec-bounds"},
     "clean_codec_kinds.cpp": set(),
+    "bad_codec_frame.cpp": {"codec-bounds"},
+    "clean_codec_frame.cpp": set(),
     "bad_switch.cpp": {"switch-exhaustive", "switch-default"},
     "clean_switch.cpp": set(),
     "bad_taint.cpp": {"determinism-taint"},

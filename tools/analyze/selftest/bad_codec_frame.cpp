@@ -1,0 +1,53 @@
+// amm_analyze --self-test corpus: seeded codec-bounds violations in a
+// storage-style length+CRC frame scanner (src/storage/log_format.cpp's
+// shape). This file is NEVER compiled or linked — it pins that the
+// bounds-discipline rules cover on-disk framing, not just the wire codec
+// (expected: codec-bounds).
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace selftest {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using usize = std::size_t;
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  std::optional<u32> get_u32() {
+    // VIOLATION: guards 2 bytes but consumes 4 — a torn tail walks off
+    // the end of the mapped segment.
+    if (remaining() < 2) return std::nullopt;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  usize remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+  bool ok_ = true;
+};
+
+struct Frame {
+  u32 len = 0;
+  u32 crc = 0;
+};
+
+std::optional<Frame> decode_frame(FrameReader& dec) {
+  const auto len = dec.get_u32();
+  const auto crc = dec.get_u32();
+  Frame frame;
+  frame.len = *len;  // VIOLATION: dereferenced before testing the optional
+  frame.crc = *crc;  // VIOLATION: a truncated header yields nullopt -> UB
+  return frame;
+}
+
+}  // namespace selftest

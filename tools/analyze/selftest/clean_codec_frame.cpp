@@ -1,0 +1,58 @@
+// amm_analyze --self-test corpus: the bounds-clean twin of
+// bad_codec_frame.cpp — the storage frame scanner done right, the way
+// src/storage/log_format.cpp does it: every raw read guarded for exactly
+// the bytes it consumes, every optional tested before dereference, the
+// frame length validated against the bytes actually remaining
+// (expected: no findings).
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace selftest {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using usize = std::size_t;
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  std::optional<u32> get_u32() {
+    if (!ok_ || remaining() < 4) {
+      ok_ = false;
+      return std::nullopt;
+    }
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  bool ok() const { return ok_; }
+  usize remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const u8> bytes_;
+  usize pos_ = 0;
+  bool ok_ = true;
+};
+
+struct Frame {
+  u32 len = 0;
+  u32 crc = 0;
+};
+
+std::optional<Frame> decode_frame(FrameReader& dec) {
+  const auto len = dec.get_u32();
+  const auto crc = dec.get_u32();
+  if (!len || !crc) return std::nullopt;
+  // A declared length the tail cannot hold is a torn frame, not a read.
+  if (dec.remaining() < *len) return std::nullopt;
+  Frame frame;
+  frame.len = *len;
+  frame.crc = *crc;
+  return frame;
+}
+
+}  // namespace selftest

@@ -19,6 +19,17 @@ Exit status 0 iff every assertion holds. Registered as the ctest/CI
 `cluster_loopback` job. With --json FILE the measured byte costs are
 written as a JSON document for the CI artifact / bench fold-in.
 
+With --durable the default scenario is replaced by the crash-recovery
+gauntlet (DESIGN.md §10): every node runs with --store-dir, one node is
+SIGKILLed in the middle of an append batch, its store's log tail is
+smeared with garbage (the torn-frame crash artifact), amm_logtool must
+detect (verify -> exit 1), repair (truncate) and re-certify (verify ->
+exit 0) the store offline, and the restarted node must recover its view
+from local replay plus a delta-only tail fetch — asserted both on bytes
+(within 2x the ideal delta cost, far below a full history sync) and on
+state (its quorum read agrees with every survivor's and contains every
+completed append).
+
 With --mem-soak the default scenario is replaced by a memory soak
 (DESIGN.md §8): the same append load is driven twice — once with
 compaction off (the unbounded node) and once in summary mode — and each
@@ -41,9 +52,11 @@ import json
 import random
 import re
 import select
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -95,12 +108,18 @@ class Cluster:
                 return
         raise ClusterError(f"could not find a free port range in {attempts} attempts")
 
+    def args_for(self, i: int) -> list[str]:
+        """Per-node extra args: a literal `{id}` in any node_args element is
+        replaced with the node id (how --durable gives each node its own
+        --store-dir)."""
+        return [a.replace("{id}", str(i)) for a in self.node_args]
+
     def _try_start(self) -> bool:
         self.procs = []
         for i in range(self.n):
             cmd = [str(self.node_bin), "--id", str(i), "--n", str(self.n),
                    "--seed", str(self.seed), "--base-port", str(self.base_port),
-                   *self.node_args]
+                   *self.args_for(i)]
             self.procs.append(subprocess.Popen(cmd, stdout=subprocess.PIPE,
                                                stderr=subprocess.STDOUT))
         deadline = time.monotonic() + 10
@@ -144,7 +163,7 @@ class Cluster:
         assert self.procs[node] is None
         cmd = [str(self.node_bin), "--id", str(node), "--n", str(self.n),
                "--seed", str(self.seed), "--base-port", str(self.base_port),
-               *self.node_args]
+               *self.args_for(node)]
         proc = subprocess.Popen(cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
         line = read_line(proc, time.monotonic() + 10)
         if "listening on" not in line:
@@ -214,6 +233,167 @@ def read_cost(cluster: Cluster, node: int) -> tuple[int, int]:
     return cluster.total_bytes() - before, len(view)
 
 
+def logtool(args, *tool_args: str) -> tuple[int, str]:
+    """Runs amm_logtool; returns (exit status, stdout+stderr)."""
+    proc = subprocess.run([str(args.bin_dir / "amm_logtool"), *tool_args],
+                          capture_output=True, text=True, timeout=60)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def run_durable(args) -> None:
+    """Crash-recovery gauntlet: SIGKILL mid-write, offline repair, restart
+    with local replay + delta-only tail fetch (DESIGN.md §10)."""
+    store_root = Path(tempfile.mkdtemp(prefix="amm_durable_"))
+    node_args = ("--store-dir", str(store_root / "store{id}"),
+                 "--fsync", "always", "--snapshot-interval", "32")
+    cluster = Cluster(args.bin_dir, args.n, args.seed, node_args=node_args)
+    cluster.start()
+    completed: set[int] = set()
+    try:
+        # Phase 1: the bulk of the history lands while every node is up, so
+        # the store under the crash has real segments and snapshots in it.
+        phase1_per_node = (args.appends * 85 // 100) // args.n + 1
+        value = append_batch(cluster, list(range(args.n)), phase1_per_node, 1, completed)
+        log(f"phase 1: {len(completed)} appends completed, durable stores populated")
+
+        # SIGKILL the highest node in the middle of an append batch it is
+        # itself driving — the canonical torn-write crash.
+        target = args.n - 1
+        kill_batch = 64
+        kill_first = value
+        job = subprocess.Popen(
+            [str(cluster.ctl_bin), "--port", str(cluster.port(target)), "--op", "append",
+             "--value", str(value), "--count", str(kill_batch), "--window", "8"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        value += kill_batch
+        time.sleep(0.15)
+        cluster.kill(target)
+        job.communicate(timeout=60)  # the driver dies with its node; ignore
+        survivors = cluster.alive()
+
+        # Smear garbage over the log tail so the crash artifact is there
+        # deterministically (a real mid-write kill only sometimes tears).
+        store_dir = store_root / f"store{target}"
+        segments = sorted(store_dir.glob("seg-*.log"))
+        if not segments:
+            raise ClusterError(f"no segments in {store_dir}")
+        with segments[-1].open("ab") as f:
+            f.write(b"\x17" * 17)
+
+        # Offline repair flow: verify must flag the torn tail and fail,
+        # truncate must cut it, verify must then certify a clean store.
+        status, out = logtool(args, "verify", "--dir", str(store_dir),
+                              "--n", str(args.n), "--seed", str(args.seed))
+        if status != 1 or "kind=torn_tail" not in out:
+            raise ClusterError(f"verify missed the torn tail (exit {status}): {out.strip()}")
+        status, out = logtool(args, "truncate", "--dir", str(store_dir))
+        if status != 0 or "cut_bytes=" not in out:
+            raise ClusterError(f"truncate failed (exit {status}): {out.strip()}")
+        status, out = logtool(args, "verify", "--dir", str(store_dir),
+                              "--n", str(args.n), "--seed", str(args.seed))
+        if status != 0 or "faults=0" not in out:
+            raise ClusterError(f"store still faulty after repair (exit {status}): {out.strip()}")
+        log(f"offline repair: torn tail detected, truncated, store re-certified clean")
+
+        # Phase 2 while the target is down — the tail it must later fetch
+        # over the wire (and the only part it should pay wire bytes for).
+        phase2_per_node = (args.appends - len(completed)) // len(survivors) + 1
+        append_batch(cluster, survivors, phase2_per_node, value, completed)
+        if len(completed) < args.appends:
+            raise ClusterError(f"only {len(completed)} < {args.appends} appends completed")
+        survivor_view = read_values(cluster, survivors[0])
+        history = len(survivor_view)
+        partials = len([v for v in survivor_view if kill_first <= v < kill_first + kill_batch])
+        phase2_total = len([v for v in survivor_view if v >= kill_first + kill_batch])
+        log(f"phase 2: history {history} ({phase2_total} + {partials} partials "
+            f"appended while node {target} was down)")
+
+        steady_bytes, steady_view = read_cost(cluster, survivors[0])
+        if steady_view != history:
+            raise ClusterError(f"steady read view {steady_view} != history {history}")
+
+        # Restart on the repaired store. Recovery itself is local (snapshot
+        # + log replay); the wire pays only for the missed tail.
+        before_bytes = cluster.total_bytes()
+        cluster.restart(target)
+        deadline = time.monotonic() + 30
+        while cluster.stats(target).get("view", 0) < history:
+            if time.monotonic() > deadline:
+                raise ClusterError(
+                    f"restarted node stuck at view "
+                    f"{cluster.stats(target).get('view', 0)} < {history}")
+            time.sleep(0.2)
+        restart_bytes = cluster.total_bytes() - before_bytes
+
+        stats = cluster.stats(target)
+        if stats.get("recovery_replayed_records", 0) == 0:
+            raise ClusterError(f"restarted node replayed nothing from its log: {stats}")
+        if stats.get("snapshot_count", 0) == 0:
+            raise ClusterError(f"restarted node loaded/wrote no snapshot: {stats}")
+        if stats.get("log_bytes", 0) == 0:
+            raise ClusterError(f"restarted node reports an empty log: {stats}")
+        log(f"recovery: replayed {stats['recovery_replayed_records']} records locally, "
+            f"log_bytes={stats['log_bytes']}, snapshots={stats['snapshot_count']}")
+
+        # The §10 byte assertion: restart wire cost within 2x the ideal
+        # delta (steady read overhead + peers shipping exactly the missed
+        # records), and nowhere near a full history sync.
+        missed = phase2_total + partials
+        ideal = steady_bytes + (args.n - 1) * missed * RECORD_WIRE_BYTES
+        full_estimate = (args.n - 1) * history * RECORD_WIRE_BYTES
+        log(f"restart wire bytes {restart_bytes} (ideal delta {ideal}, "
+            f"full-sync estimate {full_estimate})")
+        if restart_bytes > 2 * ideal:
+            raise ClusterError(
+                f"restart cost {restart_bytes} B exceeds 2x ideal delta {ideal} B "
+                f"— recovery is not delta-only")
+        if restart_bytes * 3 > full_estimate:
+            raise ClusterError(
+                f"restart cost {restart_bytes} B is within 3x of a full history "
+                f"sync ({full_estimate} B) — local replay bought nothing")
+
+        # State assertion: the recovered node's quorum read is exactly the
+        # survivors' — every completed append present, nothing invented.
+        recovered_view = read_values(cluster, target)
+        if sorted(recovered_view) != sorted(survivor_view):
+            raise ClusterError(
+                f"recovered view ({len(recovered_view)} records) differs from "
+                f"survivor view ({len(survivor_view)} records)")
+        missing = completed - set(recovered_view)
+        if missing:
+            raise ClusterError(
+                f"recovered node misses {len(missing)} completed appends, "
+                f"e.g. {sorted(missing)[:5]}")
+        log(f"recovered node {target}: view matches survivors, "
+            f"all {len(completed)} completed appends present")
+
+        if args.json is not None:
+            args.json.write_text(json.dumps({
+                "title": "cluster durable restart",
+                "tables": [{
+                    "caption": "restart wire cost",
+                    "table": {
+                        "headers": ["n", "history", "path", "bytes [B]"],
+                        "rows": [
+                            [str(args.n), str(history), "steady_delta_read", str(steady_bytes)],
+                            [str(args.n), str(history), "durable_restart", str(restart_bytes)],
+                            [str(args.n), str(history), "restart_ideal_delta", str(ideal)],
+                            [str(args.n), str(history), "restart_full_sync_estimate",
+                             str(full_estimate)],
+                        ],
+                    },
+                }],
+            }, indent=2) + "\n")
+            log(f"wrote {args.json}")
+        log("PASS")
+    except ClusterError as err:
+        log(f"FAIL: {err}")
+        sys.exit(1)
+    finally:
+        cluster.stop_all()
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
 def run_mem_soak(args) -> None:
     """Memory-vs-history soak: identical load, compaction off vs summary."""
     rounds = 4
@@ -249,6 +429,21 @@ def run_mem_soak(args) -> None:
                         f"live={stats['live_records']} folded={stats['records_folded']} "
                         f"rss_kb={stats['rss_kb']}")
                 samples[mode] = rows
+                if mode == "summary" and rows[-1]["folded"] > 1:
+                    # A decide whose k lies below the compaction fold must
+                    # fail with a machine-readable reason (exit 3), distinct
+                    # from plain k-undecided (exit 1) — the old behaviour
+                    # exited 0 and scripts treated the refusal as a decision.
+                    proc = subprocess.run(
+                        [str(cluster.ctl_bin), "--port", str(cluster.port(0)),
+                         "--op", "decide", "--k", "1"],
+                        capture_output=True, text=True, timeout=60)
+                    out = proc.stdout + proc.stderr
+                    if proc.returncode != 3 or "reason=refused_below_fold" not in out:
+                        raise ClusterError(
+                            f"decide below fold: want exit 3 + refused_below_fold, "
+                            f"got exit {proc.returncode}: {out.strip()}")
+                    log("decide below fold refused with exit 3 reason=refused_below_fold")
             finally:
                 cluster.stop_all()
 
@@ -303,11 +498,16 @@ def main() -> None:
                     help="write measured byte costs to this file as JSON")
     ap.add_argument("--mem-soak", action="store_true",
                     help="run the compaction memory soak instead of the default scenario")
+    ap.add_argument("--durable", action="store_true",
+                    help="run the crash-recovery gauntlet instead of the default scenario")
     args = ap.parse_args()
     if args.n < 3:
         sys.exit("error: need --n >= 3 for a meaningful minority crash")
     if args.mem_soak:
         run_mem_soak(args)
+        return
+    if args.durable:
+        run_durable(args)
         return
 
     cluster = Cluster(args.bin_dir, args.n, args.seed)
